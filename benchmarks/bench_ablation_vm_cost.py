@@ -1,0 +1,50 @@
+"""Ablation: sensitivity of the headline comparison to the calibrated
+VM-interpretation cost (DESIGN.md §6).
+
+The paper attributes Ensemble's overhead to bytecode interpretation and
+proposes a JIT as future work.  This ablation sweeps the per-bytecode
+charge and reports the Ensemble/C-OpenCL total ratio for matmul on the
+GPU: at JIT-like cost (1 ns) the gap nearly closes; at a naive
+interpreter's cost (16 ns) it widens — the qualitative conclusion
+("commensurate, overhead is the VM") is robust across the sweep.
+"""
+
+import pytest
+
+from repro.apps import matmul
+from repro.harness import scaled_devices
+from repro.runtime import vm as vm_module
+
+SWEEP = (1.0, 4.0, 16.0)
+
+
+def _ratio(bytecode_ns: float) -> float:
+    original = vm_module.BYTECODE_NS
+    vm_module.BYTECODE_NS = bytecode_ns
+    try:
+        with scaled_devices(0.08, 16.0):
+            ens = matmul.run_ensemble(32, "GPU")
+            api = matmul.run_api(32, "GPU")
+        return ens.total_ns / api.total_ns
+    finally:
+        vm_module.BYTECODE_NS = original
+
+
+def test_vm_cost_ablation(benchmark, artefacts):
+    ratios = benchmark.pedantic(
+        lambda: {ns: _ratio(ns) for ns in SWEEP}, rounds=1, iterations=1
+    )
+    lines = ["VM interpretation-cost ablation (matmul GPU, n=32):"]
+    for ns, ratio in ratios.items():
+        lines.append(f"  BYTECODE_NS={ns:>4.1f} ns -> Ensemble/C = {ratio:.2f}x")
+    artefacts["ablation_vm"] = "\n".join(lines)
+    print()
+    print(artefacts["ablation_vm"])
+
+    # Monotone in the interpretation cost...
+    assert ratios[1.0] <= ratios[4.0] <= ratios[16.0]
+    # ...JIT-like cost nearly closes the gap...
+    assert ratios[1.0] < 1.3
+    # ...and even a naive interpreter stays within an order of magnitude
+    # (the paper's "commensurate performance" claim is not knife-edge).
+    assert ratios[16.0] < 6.0

@@ -1,0 +1,34 @@
+"""Regenerates Figure 3a: matrix multiplication, normalised breakdown.
+
+Paper shape asserted: Ensemble-OpenCL and C-OpenCL are commensurate on
+both devices (Ensemble carries the extra VM-interpretation overhead);
+C-OpenACC is comparable on the GPU for this regular 2-D kernel; the CPU
+is several times slower than the GPU.
+"""
+
+from figure_common import regenerate, segment, total
+
+
+def test_figure_3a(benchmark, artefacts):
+    fig = regenerate(benchmark, artefacts, "3a")
+
+    ens_gpu = total(fig, "Ensemble GPU")
+    c_gpu = total(fig, "C-OpenCL GPU")
+    acc_gpu = total(fig, "C-OpenACC GPU")
+
+    # Commensurate performance (paper Section 7.4).
+    assert c_gpu <= ens_gpu <= 2.0 * c_gpu
+    # OpenACC is comparable on the GPU for matmul.
+    assert acc_gpu <= 1.5 * c_gpu
+    # The GPU wins over the CPU for this compute-bound kernel.
+    assert total(fig, "Ensemble CPU") > 2.0 * ens_gpu
+    assert total(fig, "C-OpenCL CPU") > 2.0 * c_gpu
+    # Ensemble's extra cost is interpreter overhead, not OpenCL actions.
+    assert segment(fig, "Ensemble GPU", "overhead") > segment(
+        fig, "C-OpenCL GPU", "overhead"
+    )
+    for seg in ("to_device", "from_device", "kernel"):
+        assert abs(
+            segment(fig, "Ensemble GPU", seg)
+            - segment(fig, "C-OpenCL GPU", seg)
+        ) < 0.05

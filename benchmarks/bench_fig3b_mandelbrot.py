@@ -1,0 +1,23 @@
+"""Regenerates Figure 3b: Mandelbrot, normalised breakdown.
+
+Paper shape asserted: Ensemble ~= C-OpenCL; C-OpenACC shows *much worse*
+performance on the GPU even with the gang/worker annotations (the
+pragma compiler cannot exploit the 2-D thread geometry and fails to
+vectorise the irregular escape loop), and worse still on the CPU.
+"""
+
+from figure_common import regenerate, segment, total
+
+
+def test_figure_3b(benchmark, artefacts):
+    fig = regenerate(benchmark, artefacts, "3b")
+
+    ens_gpu = total(fig, "Ensemble GPU")
+    c_gpu = total(fig, "C-OpenCL GPU")
+
+    assert c_gpu <= 1.1 * ens_gpu and ens_gpu <= 1.5 * c_gpu
+    # "much worse performance" for the pragma approach on the GPU
+    assert total(fig, "C-OpenACC GPU") > 3.0 * ens_gpu
+    # and "vastly better" Ensemble vs OpenACC on the CPU
+    assert total(fig, "C-OpenACC CPU") > 2.0 * total(fig, "Ensemble CPU")
+    assert total(fig, "Ensemble CPU") > 2.0 * ens_gpu

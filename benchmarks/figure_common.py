@@ -1,0 +1,29 @@
+"""Shared helpers for the Figure-3 benchmark files."""
+
+from __future__ import annotations
+
+from repro.harness import FigureResult, build_figure_by_id, render_figure
+
+
+def regenerate(benchmark, artefacts, figure: str) -> FigureResult:
+    """Build one figure under pytest-benchmark and print it."""
+    result = benchmark.pedantic(
+        build_figure_by_id, args=(figure,), rounds=1, iterations=1
+    )
+    text = render_figure(result)
+    artefacts[f"figure{figure}"] = text
+    print()
+    print(text)
+    return result
+
+
+def total(result: FigureResult, label: str) -> float:
+    bar = result.bar(label)
+    assert not bar.failed, f"{label} produced no result: {bar.note}"
+    return bar.total
+
+
+def segment(result: FigureResult, label: str, name: str) -> float:
+    bar = result.bar(label)
+    assert not bar.failed
+    return bar.segments.get(name, 0.0)

@@ -1,0 +1,93 @@
+"""Actor-based programming interface (the public API).
+
+Exposes the Ensemble model to Python directly: actors with a repeated
+``behaviour``, typed channels with optional buffers, stages, movable
+(`mov`) data, and OpenCL kernels as actors.
+
+Quick one-shot dispatch::
+
+    from repro.actors import run_kernel
+
+    result = run_kernel(SOURCE, "square", {"a": data, "out": out, "n": n},
+                        worksize=[n])
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from ..runtime.mov import Movable, is_movable, mov  # noqa: F401
+from ..runtime.residency import ManagedArray  # noqa: F401
+from .actor import Actor, Stage, StopBehaviour  # noqa: F401
+from .channel import (  # noqa: F401
+    InPort,
+    OutPort,
+    channel,
+    connect,
+)
+from .kernel_actor import KernelActor, KernelRequest  # noqa: F401
+
+
+class _OneShotHost(Actor):
+    """Dispatches a single request to a kernel actor and collects the
+    result — the minimal host actor, used by :func:`run_kernel`."""
+
+    requests = OutPort()
+    din = InPort()
+
+    def __init__(
+        self,
+        data: dict,
+        worksize: Sequence[int],
+        groupsize: Optional[Sequence[int]],
+        movable: bool,
+    ) -> None:
+        super().__init__()
+        self._data = data
+        self._worksize = list(worksize)
+        self._groupsize = list(groupsize) if groupsize is not None else None
+        self._movable = movable
+        self.result: Any = None
+
+    def behaviour(self) -> None:
+        request = KernelRequest(self._worksize, self._groupsize)
+        dout = OutPort(name="oneshot.dout")
+        connect(dout, request.input)
+        connect(request.output, self.din)
+        self.requests.send(request)
+        dout.send(mov(self._data) if self._movable else self._data)
+        received = self.din.receive()
+        self.result = received.value if is_movable(received) else received
+        self.stop()
+
+
+def run_kernel(
+    source: str,
+    kernel_name: str,
+    data: dict,
+    worksize: Sequence[int],
+    groupsize: Optional[Sequence[int]] = None,
+    device_type: str = "GPU",
+    device_index: int = 0,
+    movable: bool = False,
+    timeout: float = 120.0,
+) -> dict:
+    """Run one kernel dispatch through the actor machinery.
+
+    *data* maps kernel parameter names to arrays
+    (:class:`ManagedArray` or plain lists) and scalars; the returned
+    dict holds the post-kernel values (host-synchronised).
+    """
+    stage = Stage("run_kernel")
+    kernel = stage.spawn(
+        KernelActor(source, kernel_name, device_type, device_index)
+    )
+    host = stage.spawn(_OneShotHost(data, worksize, groupsize, movable))
+    connect(host.requests, kernel.requests)
+    stage.run(timeout)
+    result = host.result
+    if isinstance(result, dict):
+        for value in result.values():
+            if isinstance(value, ManagedArray):
+                value.sync_host()
+    return result

@@ -1,0 +1,225 @@
+"""Actors and stages: the Pythonic face of the Ensemble model.
+
+This is the "plain Java" path from paper Section 4 — applications need
+not be written in the Ensemble language; they can target the runtime's
+actor abstractions directly.  An actor has private state and a single
+thread of control whose ``behaviour`` is repeated until the actor stops;
+all actors execute within a :class:`Stage` (one memory space).
+
+Port declaration is declarative::
+
+    class Sender(Actor):
+        output = OutPort(int)
+
+        def __init__(self) -> None:
+            super().__init__()
+            self.value = 1
+
+        def behaviour(self) -> None:
+            self.output.send(self.value)
+            self.value += 1
+
+Class-level ports are templates; each instance receives fresh clones, so
+two instances of an actor class never share a channel end.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import traceback
+from typing import Optional
+
+from ..errors import ActorError, ChannelClosed, RuntimeFault
+from .channel import InPort, OutPort, connect  # noqa: F401 (re-export)
+
+_actor_ids = itertools.count(1)
+
+#: How long Stage.join waits before declaring the application hung.
+DEFAULT_JOIN_TIMEOUT = 60.0
+
+
+class StopBehaviour(Exception):
+    """Raised (via :meth:`Actor.stop`) to leave the behaviour loop."""
+
+
+class Actor:
+    """Base class: private state + a repeated ``behaviour`` clause."""
+
+    def __init__(self) -> None:
+        self.actor_id = next(_actor_ids)
+        self.name = f"{type(self).__name__}-{self.actor_id}"
+        self.stage: Optional["Stage"] = None
+        self._stopped = threading.Event()
+        self._instantiate_ports()
+
+    def _instantiate_ports(self) -> None:
+        """Clone class-level port templates into instance ports."""
+        seen: set[str] = set()
+        for klass in type(self).__mro__:
+            for attr, template in vars(klass).items():
+                if attr in seen:
+                    continue
+                if isinstance(template, InPort):
+                    seen.add(attr)
+                    port = InPort(
+                        template.typ,
+                        buffer=template.capacity,
+                        name=f"{type(self).__name__}.{attr}",
+                        owner=self,
+                    )
+                    setattr(self, attr, port)
+                elif isinstance(template, OutPort):
+                    seen.add(attr)
+                    port = OutPort(
+                        template.typ,
+                        name=f"{type(self).__name__}.{attr}",
+                        owner=self,
+                    )
+                    setattr(self, attr, port)
+
+    # -- behaviour ---------------------------------------------------------
+
+    def behaviour(self) -> None:
+        """One iteration of the actor's behaviour clause.  Subclasses
+        must override; the runtime repeats it until :meth:`stop`."""
+        raise NotImplementedError(
+            f"{type(self).__name__} must define behaviour()"
+        )
+
+    def stop(self) -> None:
+        """Stop this actor after the current behaviour iteration."""
+        raise StopBehaviour()
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped.is_set()
+
+    # -- internals ---------------------------------------------------------
+
+    def _run(self) -> Optional[BaseException]:
+        error: Optional[BaseException] = None
+        try:
+            while True:
+                self.behaviour()
+        except StopBehaviour:
+            pass
+        except ChannelClosed:
+            # Upstream finished: draining actors stop cleanly.
+            pass
+        except BaseException as exc:  # noqa: BLE001 - reported via stage
+            error = exc
+        finally:
+            self._close_ports()
+            self._stopped.set()
+        return error
+
+    def _close_ports(self) -> None:
+        for value in vars(self).values():
+            if isinstance(value, (InPort, OutPort)):
+                value.close()
+
+    def ports(self) -> dict[str, object]:
+        return {
+            attr: value
+            for attr, value in vars(self).items()
+            if isinstance(value, (InPort, OutPort))
+        }
+
+    def __repr__(self) -> str:
+        return f"<Actor {self.name}>"
+
+
+class Stage:
+    """A memory space in which actors execute (paper Section 4).
+
+    Typical use mirrors an Ensemble ``boot`` block::
+
+        stage = Stage("home")
+        s = stage.spawn(Sender())
+        r = stage.spawn(Receiver())
+        connect(s.output, r.input)
+        stage.run()
+    """
+
+    def __init__(self, name: str = "home") -> None:
+        self.name = name
+        self.actors: list[Actor] = []
+        self._threads: dict[int, threading.Thread] = {}
+        self._errors: list[tuple[Actor, BaseException]] = []
+        self._started = False
+
+    def spawn(self, actor: Actor) -> Actor:
+        """Register *actor* on this stage (threads start at :meth:`start`)."""
+        if self._started:
+            raise RuntimeFault("cannot spawn after the stage has started")
+        if actor.stage is not None:
+            raise RuntimeFault(f"{actor.name} already belongs to a stage")
+        actor.stage = self
+        self.actors.append(actor)
+        return actor
+
+    def start(self) -> None:
+        """Create one thread per actor and begin executing behaviours."""
+        if self._started:
+            raise RuntimeFault("stage already started")
+        self._started = True
+        for actor in self.actors:
+            thread = threading.Thread(
+                target=self._actor_main,
+                args=(actor,),
+                name=f"{self.name}/{actor.name}",
+                daemon=True,
+            )
+            self._threads[actor.actor_id] = thread
+            thread.start()
+
+    def _actor_main(self, actor: Actor) -> None:
+        error = actor._run()
+        if error is not None:
+            self._errors.append((actor, error))
+
+    def join(self, timeout: float = DEFAULT_JOIN_TIMEOUT) -> None:
+        """Wait for every actor to stop; re-raise the first actor error."""
+        deadline = timeout
+        for actor in self.actors:
+            thread = self._threads.get(actor.actor_id)
+            if thread is None:
+                continue
+            thread.join(deadline)
+            if thread.is_alive():
+                raise ActorError(
+                    f"stage {self.name!r}: actor {actor.name} did not stop "
+                    f"within {timeout}s (deadlock?)"
+                )
+        if self._errors:
+            actor, error = self._errors[0]
+            detail = "".join(
+                traceback.format_exception(type(error), error, error.__traceback__)
+            )
+            raise ActorError(f"actor {actor.name} failed:\n{detail}") from error
+
+    def run(self, timeout: float = DEFAULT_JOIN_TIMEOUT) -> None:
+        """start() + join() — the whole application lifecycle."""
+        self.start()
+        self.join(timeout)
+
+    def stop_all(self) -> None:
+        """Close every port, unblocking and terminating all actors."""
+        for actor in self.actors:
+            actor._close_ports()
+
+    def __enter__(self) -> "Stage":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            if not self._started:
+                self.run()
+            else:
+                self.join()
+        else:
+            self.stop_all()
+
+    def __repr__(self) -> str:
+        return f"<Stage {self.name!r} actors={len(self.actors)}>"

@@ -1,0 +1,248 @@
+"""Typed, unidirectional channels with optional buffering.
+
+Semantics follow Ensemble (paper Section 4):
+
+* a channel is a pair of ends — an :class:`OutPort` (sender side) and an
+  :class:`InPort` (receiver side) — joined by :func:`connect`;
+* channels are typed; sends are checked against the declared type;
+* an optional buffer makes communication asynchronous; with no buffer
+  (or a full one) the system reverts to synchronous, blocking
+  rendezvous;
+* ends compose into 1-1, 1-n (broadcast) and n-1 (merge) topologies;
+* non-movable messages are duplicated on send to preserve
+  shared-nothing semantics; movable messages surrender ownership
+  instead (see :mod:`repro.runtime.mov`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from typing import Any, Optional
+
+from ..errors import ChannelClosed, ChannelError
+from ..runtime.mov import Movable, copy_message, is_movable
+
+_port_ids = itertools.count(1)
+
+#: Sentinel meaning "no timeout" for blocking channel operations.
+FOREVER: Optional[float] = None
+
+
+def _type_ok(typ, value: Any) -> bool:
+    if typ is None:
+        return True
+    payload = value.value if isinstance(value, Movable) else value
+    if isinstance(typ, type):
+        return isinstance(payload, typ)
+    if callable(typ):
+        return bool(typ(payload))
+    return True
+
+
+class InPort:
+    """The receiving end of a channel; owns the message buffer."""
+
+    __by_reference__ = True
+
+    def __init__(
+        self,
+        typ=None,
+        buffer: int = 0,
+        name: str = "",
+        owner=None,
+    ) -> None:
+        if buffer < 0:
+            raise ChannelError("buffer size cannot be negative")
+        self.id = next(_port_ids)
+        self.typ = typ
+        self.capacity = buffer
+        self.name = name or f"in{self.id}"
+        self.owner = owner
+        self._lock = threading.Lock()
+        self._nonempty = threading.Condition(self._lock)
+        self._nonfull = threading.Condition(self._lock)
+        self._items: deque = deque()
+        self._open_sources = 0
+        self._ever_attached = False
+        self._closed = False
+
+    # -- wiring ------------------------------------------------------------
+
+    def _attach(self) -> None:
+        with self._lock:
+            if self._closed:
+                raise ChannelError(f"{self.name}: connecting to a closed port")
+            self._open_sources += 1
+            self._ever_attached = True
+            self._nonempty.notify_all()
+
+    def _detach(self) -> None:
+        with self._lock:
+            self._open_sources -= 1
+            if self._open_sources <= 0:
+                self._nonempty.notify_all()
+
+    # -- operations ----------------------------------------------------------
+
+    def _put(self, item: Any, timeout: Optional[float]) -> None:
+        with self._lock:
+            if self._closed:
+                raise ChannelError(f"{self.name}: send to a closed port")
+            if self.capacity:
+                while len(self._items) >= self.capacity:
+                    if not self._nonfull.wait(timeout):
+                        raise ChannelError(
+                            f"{self.name}: send timed out (buffer full)"
+                        )
+                    if self._closed:
+                        raise ChannelError(f"{self.name}: port closed")
+                self._items.append((item, None))
+                self._nonempty.notify()
+                return
+            # Rendezvous: block until a receiver consumes this message.
+            consumed = threading.Event()
+            self._items.append((item, consumed))
+            self._nonempty.notify()
+        if not consumed.wait(timeout):
+            raise ChannelError(f"{self.name}: rendezvous send timed out")
+
+    def receive(self, timeout: Optional[float] = FOREVER) -> Any:
+        """Take the next message, blocking until one arrives.
+
+        Raises :class:`ChannelClosed` when every sender has closed and
+        the buffer is drained — the idiomatic end-of-stream signal.
+        """
+        with self._lock:
+            while not self._items:
+                if self._closed or (
+                    self._ever_attached and self._open_sources == 0
+                ):
+                    raise ChannelClosed(
+                        f"{self.name}: all senders closed"
+                    )
+                # A port with no senders *yet* blocks: channels may be
+                # plumbed at runtime (paper Section 6.1.1).
+                if not self._nonempty.wait(timeout):
+                    raise ChannelError(f"{self.name}: receive timed out")
+            item, consumed = self._items.popleft()
+            if self.capacity:
+                self._nonfull.notify()
+        if consumed is not None:
+            consumed.set()
+        return item
+
+    def poll(self) -> bool:
+        """True when a message is waiting."""
+        with self._lock:
+            return bool(self._items)
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            self._nonempty.notify_all()
+            self._nonfull.notify_all()
+
+    def __repr__(self) -> str:
+        return f"<InPort {self.name} buf={self.capacity} q={len(self._items)}>"
+
+
+class OutPort:
+    """The sending end of a channel."""
+
+    __by_reference__ = True
+
+    def __init__(self, typ=None, name: str = "", owner=None) -> None:
+        self.id = next(_port_ids)
+        self.typ = typ
+        self.name = name or f"out{self.id}"
+        self.owner = owner
+        self._targets: list[InPort] = []
+        self._closed = False
+
+    # -- wiring ------------------------------------------------------------
+
+    @property
+    def targets(self) -> list[InPort]:
+        return list(self._targets)
+
+    @property
+    def connected(self) -> bool:
+        return bool(self._targets)
+
+    def disconnect(self) -> None:
+        for target in self._targets:
+            target._detach()
+        self._targets.clear()
+
+    # -- operations ----------------------------------------------------------
+
+    def send(self, value: Any, timeout: Optional[float] = FOREVER) -> None:
+        """Send *value* to every connected receiver.
+
+        Non-movable values are duplicated per receiver (shared-nothing);
+        a :class:`~repro.runtime.mov.Movable` surrenders ownership and
+        therefore allows exactly one receiver.
+        """
+        if self._closed:
+            raise ChannelError(f"{self.name}: send on a closed port")
+        if not self._targets:
+            raise ChannelError(f"{self.name}: send on an unconnected channel")
+        if not _type_ok(self.typ, value):
+            raise ChannelError(
+                f"{self.name}: message of type "
+                f"{type(value).__name__} violates the channel type"
+            )
+        if is_movable(value):
+            if len(self._targets) != 1:
+                raise ChannelError(
+                    f"{self.name}: movable data cannot be broadcast to "
+                    f"{len(self._targets)} receivers"
+                )
+            payload = value.surrender()
+            self._targets[0]._put(Movable(payload), timeout)
+            return
+        for target in self._targets:
+            target._put(copy_message(value), timeout)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            for target in self._targets:
+                target._detach()
+
+    def __repr__(self) -> str:
+        return f"<OutPort {self.name} -> {len(self._targets)} target(s)>"
+
+
+def connect(out_port: OutPort, in_port: InPort) -> None:
+    """Join *out_port* to *in_port* (paper: ``connect s.output to r.input``).
+
+    Calling connect repeatedly builds 1-n / n-1 topologies.
+    """
+    if not isinstance(out_port, OutPort) or not isinstance(in_port, InPort):
+        raise ChannelError("connect needs (OutPort, InPort)")
+    if out_port.typ is not None and in_port.typ is not None:
+        if out_port.typ is not in_port.typ:
+            raise ChannelError(
+                f"type mismatch: {out_port.name} conveys "
+                f"{out_port.typ!r}, {in_port.name} expects {in_port.typ!r}"
+            )
+    in_port._attach()
+    out_port._targets.append(in_port)
+
+
+def channel(
+    typ=None, buffer: int = 0, name: str = ""
+) -> tuple[OutPort, InPort]:
+    """Create a connected (OutPort, InPort) pair — a dynamic channel.
+
+    Mirrors Ensemble's runtime channel creation (``new in data_t`` /
+    ``new out ...`` + connect), used to wire host actors to kernel
+    actors at runtime.
+    """
+    out_port = OutPort(typ, name=f"{name}.out" if name else "")
+    in_port = InPort(typ, buffer=buffer, name=f"{name}.in" if name else "")
+    connect(out_port, in_port)
+    return out_port, in_port

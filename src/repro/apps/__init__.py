@@ -1,0 +1,5 @@
+"""The paper's five evaluation applications (Section 7.1), each in
+five functionally-equivalent variants — see :mod:`repro.apps.common`."""
+
+from . import docrank, lud, mandelbrot, matmul, reduction  # noqa: F401
+from .common import RunOutcome, checksum, merge_ledgers  # noqa: F401

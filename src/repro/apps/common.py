@@ -1,0 +1,88 @@
+"""Shared infrastructure for the five evaluation applications.
+
+Every application (Section 7.1) ships in five runnable variants:
+
+=================  ==========================================================
+``run_python``     plain single-threaded Python — the correctness oracle and
+                   the API approach's single-threaded counterpart for Table 1
+``run_single_c``   single-threaded kernel-C, interpreted at host speed —
+                   the pragma approach's baseline for Table 1
+``run_api``        C-OpenCL style: verbose flat ``cl*`` host code + kernel
+                   source strings
+``run_actors``     Ensemble-OpenCL via the Pythonic actor API (kernel actors,
+                   channels, movability)
+``run_ensemble``   Ensemble-OpenCL from actual Ensemble source through the
+                   compiler and VM
+``run_openacc``    pragma-annotated kernel-C through the OpenACC baseline
+=================  ==========================================================
+
+All runners return a :class:`RunOutcome` with the Figure-3 breakdown
+segments computed from the cost ledgers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from .. import kernelc
+from ..opencl import CostLedger
+from ..opencl.context import current_clock
+from ..openacc.runtime import HOST_OPS_PER_NS
+from ..runtime.oclenv import device_matrix
+
+@dataclass
+class RunOutcome:
+    """Result + cost breakdown of one application run."""
+
+    result: Any
+    breakdown: dict[str, float]
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def total_ns(self) -> float:
+        return sum(self.breakdown.values())
+
+    def segment(self, name: str) -> float:
+        return self.breakdown.get(name, 0.0)
+
+
+def merge_ledgers(*ledgers: Optional[CostLedger]) -> dict[str, float]:
+    """Sum Figure-3 segments across ledgers (an app may span contexts)."""
+    out = {"to_device": 0.0, "from_device": 0.0, "kernel": 0.0, "overhead": 0.0}
+    for ledger in ledgers:
+        if ledger is None:
+            continue
+        for key, value in ledger.breakdown().items():
+            out[key] += value
+    return out
+
+
+def reset_runtime_ledgers() -> None:
+    """Fresh ledgers on every runtime OpenCL environment."""
+    device_matrix().reset_ledgers()
+
+
+def collect_runtime_ledger() -> CostLedger:
+    return device_matrix().combined_ledger()
+
+
+def run_host_c(source: str, function: str, args: list) -> tuple[Any, float]:
+    """Run single-threaded kernel-C at sequential host speed.
+
+    Returns ``(value, simulated_ns)``.  Array arguments are mutated in
+    place, exactly like C pointers.
+    """
+    compiled = kernelc.build(source)
+    value, ops = compiled.call(function, args)
+    return value, ops / HOST_OPS_PER_NS
+
+
+
+def checksum(values) -> float:
+    """Order-sensitive digest used to compare variant outputs."""
+    total = 0.0
+    for i, v in enumerate(values):
+        total += (i % 97 + 1) * float(v)
+    return round(total, 6)
+

@@ -1,0 +1,23 @@
+"""Document ranking (paper Section 7.1, Figure 3e)."""
+
+from .runners import (  # noqa: F401
+    DEFAULT_DOCS,
+    DEFAULT_REPEATS,
+    DEFAULT_TERMS,
+    generate,
+    run_actors,
+    run_api,
+    run_ensemble,
+    run_ensemble_single,
+    run_openacc,
+    run_python,
+    run_single_c,
+)
+from .sources import (  # noqa: F401
+    KERNEL_SOURCE,
+    OPENACC_SOURCE,
+    OPENMP_SOURCE,
+    SINGLE_C_SOURCE,
+    ensemble_opencl_source,
+    ensemble_single_source,
+)

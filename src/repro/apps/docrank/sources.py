@@ -1,0 +1,332 @@
+"""Document ranking — all source variants (Section 7.1, Figure 3e).
+
+The paper's real-world application: a template of term weights
+classifies a set of documents into wanted/unwanted.  The paper used a
+private corpus; this reproduction synthesises one from a closed form so
+every variant sees identical data (see DESIGN.md substitution table)::
+
+    tf[d][t]  = (d*31 + t*17) % 13 == 0 ? (d + t) % 7 + 1 : 0
+    w[t]      = ((t % 5) - 2) * 0.5
+
+Paper-relevant structure preserved in the kernels:
+
+* the **Ensemble** kernel initialises its two scratch arrays in two
+  separate loops (the language has no NULL values, so ``new ... of``
+  always initialises) and needs if/else where C uses a ternary (no
+  int/bool overloading) — both effects the paper blames for the larger
+  Ensemble kernel segment in Figure 3e;
+* the **C** kernel combines the two initialisation loops into one and
+  uses the ternary, "effectively halving the amount of work";
+* the kernel runs ``repeats`` times per application run with unchanged
+  data: Ensemble's movability keeps the corpus on the device the whole
+  time, whereas the C host re-copies it per run — the paper's
+  unexpected movability win;
+* the **OpenACC** source scores documents through a helper function,
+  which the pragma compiler refuses to offload (the PGI compiler "was
+  not able to compile this code"); the **OpenMP** twin compiles on the
+  CPU path, as gcc did in the paper.
+"""
+
+KERNEL_SOURCE = """
+__kernel void rank(__global int *tf, __global float *w,
+                   __global int *wanted, int v, float threshold) {
+    int d = get_global_id(0);
+    float pos[v];
+    float neg[v];
+    for (int t = 0; t < v; t++) {
+        pos[t] = 0.0;
+        neg[t] = 0.0;
+    }
+    for (int t = 0; t < v; t++) {
+        float c = (float)tf[d * v + t] * w[t];
+        if (c > 0.0) {
+            pos[t] = c;
+        } else {
+            neg[t] = c;
+        }
+    }
+    float score = 0.0;
+    for (int t = 0; t < v; t++) {
+        score += pos[t] + neg[t];
+    }
+    wanted[d] = score > threshold ? 1 : 0;
+}
+"""
+
+SINGLE_C_SOURCE = """
+void generate(__global int *tf, __global float *w, int ndocs, int v) {
+    for (int d = 0; d < ndocs; d++) {
+        for (int t = 0; t < v; t++) {
+            if ((d * 31 + t * 17) % 13 == 0) {
+                tf[d * v + t] = (d + t) % 7 + 1;
+            } else {
+                tf[d * v + t] = 0;
+            }
+        }
+    }
+    for (int t = 0; t < v; t++) {
+        w[t] = (float)(t % 5 - 2) * 0.5;
+    }
+}
+
+void rank_all(__global int *tf, __global float *w, __global int *wanted,
+              int ndocs, int v, float threshold) {
+    for (int d = 0; d < ndocs; d++) {
+        float score = 0.0;
+        for (int t = 0; t < v; t++) {
+            score += (float)tf[d * v + t] * w[t];
+        }
+        wanted[d] = score > threshold ? 1 : 0;
+    }
+}
+
+int run(__global int *wanted, int ndocs, int v, int repeats) {
+    int tf[ndocs * v];
+    float w[v];
+    generate(tf, w, ndocs, v);
+    for (int r = 0; r < repeats; r++) {
+        rank_all(tf, w, wanted, ndocs, v, 0.0);
+    }
+    int check = 0;
+    for (int d = 0; d < ndocs; d++) {
+        check += (d % 97 + 1) * wanted[d];
+    }
+    return check;
+}
+"""
+
+_ACC_BODY = """
+void generate(__global int *tf, __global float *w, int ndocs, int v) {{
+    for (int d = 0; d < ndocs; d++) {{
+        for (int t = 0; t < v; t++) {{
+            if ((d * 31 + t * 17) % 13 == 0) {{
+                tf[d * v + t] = (d + t) % 7 + 1;
+            }} else {{
+                tf[d * v + t] = 0;
+            }}
+        }}
+    }}
+    for (int t = 0; t < v; t++) {{
+        w[t] = (float)(t % 5 - 2) * 0.5;
+    }}
+}}
+
+float doc_score(__global int *tf, __global float *w, int d, int v) {{
+    float score = 0.0;
+    for (int t = 0; t < v; t++) {{
+        score += (float)tf[d * v + t] * w[t];
+    }}
+    return score;
+}}
+
+void rank_all(__global int *tf, __global float *w, __global int *wanted,
+              int ndocs, int v, float threshold) {{
+    {pragma}
+    for (int d = 0; d < ndocs; d++) {{
+        float s = doc_score(tf, w, d, v);
+        wanted[d] = s > threshold ? 1 : 0;
+    }}
+}}
+
+int run(__global int *wanted, int ndocs, int v, int repeats) {{
+    int tf[ndocs * v];
+    float w[v];
+    generate(tf, w, ndocs, v);
+    for (int r = 0; r < repeats; r++) {{
+        rank_all(tf, w, wanted, ndocs, v, 0.0);
+    }}
+    int check = 0;
+    for (int d = 0; d < ndocs; d++) {{
+        check += (d % 97 + 1) * wanted[d];
+    }}
+    return check;
+}}
+"""
+
+OPENACC_SOURCE = _ACC_BODY.format(
+    pragma="#pragma acc parallel loop copyin(tf, w) copyout(wanted) "
+    "gang vector"
+)
+
+OPENMP_SOURCE = _ACC_BODY.format(
+    pragma="#pragma omp parallel for"
+)
+
+ENSEMBLE_SINGLE_SOURCE_TEMPLATE = """
+type data_t is struct (
+    integer [][] tf;
+    real [] w;
+    integer [] wanted;
+    real threshold
+)
+type dispatchI is interface (
+  out data_t dout;
+  in data_t din
+)
+type rankI is interface(
+  in data_t input;
+  out data_t output
+)
+
+stage home {{
+  actor Rank presents rankI {{
+    constructor() {{}}
+    behaviour {{
+      receive d from input;
+      ndocs = length(d.tf);
+      v = length(d.w);
+      for doc = 0 .. ndocs - 1 do {{
+        score = 0.0;
+        for t = 0 .. v - 1 do {{
+          score := score + intToReal(d.tf[doc][t]) * d.w[t];
+        }}
+        if score > d.threshold then {{
+          d.wanted[doc] := 1;
+        }} else {{
+          d.wanted[doc] := 0;
+        }}
+      }}
+      send d on output;
+    }}
+  }}
+
+  actor Dispatch presents dispatchI {{
+    constructor() {{}}
+    behaviour {{
+      ndocs = {ndocs};
+      v = {v};
+      repeats = {repeats};
+      tf = new integer[ndocs][v] of 0;
+      w = new real[v] of 0.0;
+      wanted = new integer[ndocs] of 0;
+      fillPatternCond2D(tf, 31, 17, 13, 1, 1, 7, 1);
+      fillPattern1D(w, 1, 0, 5, -2, 2.0);
+      d = new data_t(tf, w, wanted, 0.0);
+      for r = 1 .. repeats do {{
+        send d on dout;
+        receive d from din;
+      }}
+      check = checksumWeighted(d.wanted);
+      printString("checksum=");
+      printInt(check);
+      stop;
+    }}
+  }}
+
+  boot {{
+    d = new Dispatch();
+    r = new Rank();
+    connect d.dout to r.input;
+    connect r.output to d.din;
+  }}
+}}
+"""
+
+ENSEMBLE_OPENCL_SOURCE_TEMPLATE = """
+type data_t is struct (
+    integer [][] tf;
+    real [] w;
+    integer [] wanted;
+    real threshold
+)
+type settings_t is opencl struct (
+    integer [] worksize;
+    integer [] groupsize;
+    in mov data_t input;
+    out mov data_t output
+)
+type dispatchI is interface (
+  out settings_t requests;
+  out mov data_t dout;
+  in mov data_t din
+)
+type rankI is interface(
+  in settings_t requests
+)
+
+stage home {{
+  opencl <device_index=0, device_type={device_type}>
+  actor Rank presents rankI {{
+    constructor() {{}}
+    behaviour {{
+      receive req from requests;
+      receive d from req.input;
+      doc = get_global_id(0);
+      v = {v};
+      pos = new real[v] of 0.0;
+      neg = new real[v] of 0.0;
+      for t = 0 .. v - 1 do {{
+        c = intToReal(d.tf[doc][t]) * d.w[t];
+        if c > 0.0 then {{
+          pos[t] := c;
+        }} else {{
+          neg[t] := c;
+        }}
+      }}
+      score = 0.0;
+      for t = 0 .. v - 1 do {{
+        score := score + pos[t] + neg[t];
+      }}
+      if score > d.threshold then {{
+        d.wanted[doc] := 1;
+      }} else {{
+        d.wanted[doc] := 0;
+      }}
+      send d on req.output;
+    }}
+  }}
+
+  actor Dispatch presents dispatchI {{
+    constructor() {{}}
+    behaviour {{
+      ndocs = {ndocs};
+      v = {v};
+      repeats = {repeats};
+      ws = new integer[1] of ndocs;
+      gs = new integer[1] of 0;
+      i = new in mov data_t;
+      o = new out mov data_t;
+
+      connect dout to i;
+      connect o to din;
+
+      config = new settings_t(ws, gs, i, o);
+      tf = new integer[ndocs][v] of 0;
+      w = new real[v] of 0.0;
+      wanted = new integer[ndocs] of 0;
+      fillPatternCond2D(tf, 31, 17, 13, 1, 1, 7, 1);
+      fillPattern1D(w, 1, 0, 5, -2, 2.0);
+      d = new data_t(tf, w, wanted, 0.0);
+      for r = 1 .. repeats do {{
+        send config on requests;
+        send d on dout;
+        receive d from din;
+      }}
+      check = checksumWeighted(d.wanted);
+      printString("checksum=");
+      printInt(check);
+      stop;
+    }}
+  }}
+
+  boot {{
+    d = new Dispatch();
+    r = new Rank();
+    connect d.requests to r.requests;
+  }}
+}}
+"""
+
+
+def ensemble_single_source(ndocs: int, v: int, repeats: int) -> str:
+    return ENSEMBLE_SINGLE_SOURCE_TEMPLATE.format(
+        ndocs=ndocs, v=v, repeats=repeats
+    )
+
+
+def ensemble_opencl_source(
+    ndocs: int, v: int, repeats: int, device_type: str = "GPU"
+) -> str:
+    return ENSEMBLE_OPENCL_SOURCE_TEMPLATE.format(
+        ndocs=ndocs, v=v, repeats=repeats, device_type=device_type
+    )

@@ -1,0 +1,20 @@
+"""LU decomposition (paper Section 7.1, Figures 3c and 4)."""
+
+from .runners import (  # noqa: F401
+    DEFAULT_N,
+    generate,
+    run_actors,
+    run_api,
+    run_ensemble,
+    run_ensemble_single,
+    run_openacc,
+    run_python,
+    run_single_c,
+)
+from .sources import (  # noqa: F401
+    KERNEL_SOURCE,
+    OPENACC_SOURCE,
+    SINGLE_C_SOURCE,
+    ensemble_opencl_source,
+    ensemble_single_source,
+)

@@ -1,0 +1,21 @@
+"""Mandelbrot set (paper Section 7.1, Figure 3b)."""
+
+from .runners import (  # noqa: F401
+    DEFAULT_H,
+    DEFAULT_ITER,
+    DEFAULT_W,
+    run_actors,
+    run_api,
+    run_ensemble,
+    run_ensemble_single,
+    run_openacc,
+    run_python,
+    run_single_c,
+)
+from .sources import (  # noqa: F401
+    KERNEL_SOURCE,
+    OPENACC_SOURCE,
+    SINGLE_C_SOURCE,
+    ensemble_opencl_source,
+    ensemble_single_source,
+)

@@ -1,0 +1,256 @@
+"""Mandelbrot set — all source variants (paper Section 7.1, Figure 3b).
+
+The paper computes a 1000-iteration Mandelbrot set in a single kernel.
+The viewport is the classic (-2..1) x (-1.5..1.5) window; the output is
+the per-pixel iteration count.  Escape-time variance across pixels makes
+this the divergence-sensitive workload where the OpenACC 1-D
+decomposition loses badly to the hand-written 2-D kernel (Section 7.4).
+"""
+
+KERNEL_SOURCE = """
+__kernel void mandelbrot(__global int *out, int w, int h, int max_iter) {
+    int px = get_global_id(0);
+    int py = get_global_id(1);
+    float x0 = -2.0 + 3.0 * (float)px / (float)w;
+    float y0 = -1.5 + 3.0 * (float)py / (float)h;
+    float x = 0.0;
+    float y = 0.0;
+    int iter = 0;
+    while (x * x + y * y <= 4.0 && iter < max_iter) {
+        float tmp = x * x - y * y + x0;
+        y = 2.0 * x * y + y0;
+        x = tmp;
+        iter++;
+    }
+    out[py * w + px] = iter;
+}
+"""
+
+SINGLE_C_SOURCE = """
+void mandelbrot(__global int *out, int w, int h, int max_iter) {
+    for (int py = 0; py < h; py++) {
+        for (int px = 0; px < w; px++) {
+            float x0 = -2.0 + 3.0 * (float)px / (float)w;
+            float y0 = -1.5 + 3.0 * (float)py / (float)h;
+            float x = 0.0;
+            float y = 0.0;
+            int iter = 0;
+            while (x * x + y * y <= 4.0 && iter < max_iter) {
+                float tmp = x * x - y * y + x0;
+                y = 2.0 * x * y + y0;
+                x = tmp;
+                iter++;
+            }
+            out[py * w + px] = iter;
+        }
+    }
+}
+
+int run(__global int *out, int w, int h, int max_iter) {
+    mandelbrot(out, w, h, max_iter);
+    int check = 0;
+    for (int i = 0; i < w * h; i++) {
+        check += (i % 97 + 1) * out[i];
+    }
+    return check;
+}
+"""
+
+OPENACC_SOURCE = """
+void mandelbrot(__global int *out, int w, int h, int max_iter) {
+    #pragma acc parallel loop collapse(2) copyout(out[0:w*h]) gang worker vector
+    for (int py = 0; py < h; py++) {
+        for (int px = 0; px < w; px++) {
+            float x0 = -2.0 + 3.0 * (float)px / (float)w;
+            float y0 = -1.5 + 3.0 * (float)py / (float)h;
+            float x = 0.0;
+            float y = 0.0;
+            int iter = 0;
+            while (x * x + y * y <= 4.0 && iter < max_iter) {
+                float tmp = x * x - y * y + x0;
+                y = 2.0 * x * y + y0;
+                x = tmp;
+                iter++;
+            }
+            out[py * w + px] = iter;
+        }
+    }
+}
+
+int run(__global int *out, int w, int h, int max_iter) {
+    mandelbrot(out, w, h, max_iter);
+    int check = 0;
+    for (int i = 0; i < w * h; i++) {
+        check += (i % 97 + 1) * out[i];
+    }
+    return check;
+}
+"""
+
+ENSEMBLE_SINGLE_SOURCE_TEMPLATE = """
+type data_t is struct (
+    integer [][] counts;
+    integer maxiter
+)
+type dispatchI is interface (
+  out data_t dout;
+  in data_t din
+)
+type mandelI is interface(
+  in data_t input;
+  out data_t output
+)
+
+stage home {{
+  actor Mandelbrot presents mandelI {{
+    constructor() {{}}
+    behaviour {{
+      receive d from input;
+      h = length(d.counts);
+      w = length(d.counts[0]);
+      for py = 0 .. h - 1 do {{
+        for px = 0 .. w - 1 do {{
+          x0 = 0.0 - 2.0 + 3.0 * intToReal(px) / intToReal(w);
+          y0 = 0.0 - 1.5 + 3.0 * intToReal(py) / intToReal(h);
+          x = 0.0;
+          y = 0.0;
+          iter = 0;
+          while x * x + y * y <= 4.0 and iter < d.maxiter do {{
+            tmp = x * x - y * y + x0;
+            y := 2.0 * x * y + y0;
+            x := tmp;
+            iter := iter + 1;
+          }}
+          d.counts[py][px] := iter;
+        }}
+      }}
+      send d on output;
+    }}
+  }}
+
+  actor Dispatch presents dispatchI {{
+    constructor() {{}}
+    behaviour {{
+      w = {w};
+      h = {h};
+      counts = new integer[h][w] of 0;
+      d = new data_t(counts, {max_iter});
+      send d on dout;
+      receive result from din;
+      check = checksumWeighted(result.counts);
+      printString("checksum=");
+      printInt(check);
+      stop;
+    }}
+  }}
+
+  boot {{
+    d = new Dispatch();
+    m = new Mandelbrot();
+    connect d.dout to m.input;
+    connect m.output to d.din;
+  }}
+}}
+"""
+
+ENSEMBLE_OPENCL_SOURCE_TEMPLATE = """
+type data_t is struct (
+    integer [][] counts;
+    integer maxiter
+)
+type settings_t is opencl struct (
+    integer [] worksize;
+    integer [] groupsize;
+    in data_t input;
+    out data_t output
+)
+type dispatchI is interface (
+  out settings_t requests;
+  out data_t dout;
+  in data_t din
+)
+type mandelI is interface(
+  in settings_t requests
+)
+
+stage home {{
+  opencl <device_index=0, device_type={device_type}>
+  actor Mandelbrot presents mandelI {{
+    constructor() {{}}
+    behaviour {{
+      receive req from requests;
+      receive d from req.input;
+      px = get_global_id(0);
+      py = get_global_id(1);
+      w = get_global_size(0);
+      h = get_global_size(1);
+      x0 = 0.0 - 2.0 + 3.0 * intToReal(px) / intToReal(w);
+      y0 = 0.0 - 1.5 + 3.0 * intToReal(py) / intToReal(h);
+      x = 0.0;
+      y = 0.0;
+      iter = 0;
+      while x * x + y * y <= 4.0 and iter < d.maxiter do {{
+        tmp = x * x - y * y + x0;
+        y := 2.0 * x * y + y0;
+        x := tmp;
+        iter := iter + 1;
+      }}
+      d.counts[py][px] := iter;
+      send d on req.output;
+    }}
+  }}
+
+  actor Dispatch presents dispatchI {{
+    constructor() {{}}
+    behaviour {{
+      w = {w};
+      h = {h};
+      ws = new integer[2] of 0;
+      ws[0] := w;
+      ws[1] := h;
+      gs = new integer[2] of {groupsize};
+      i = new in data_t;
+      o = new out data_t;
+
+      connect dout to i;
+      connect o to din;
+
+      config = new settings_t(ws, gs, i, o);
+      counts = new integer[h][w] of 0;
+      d = new data_t(counts, {max_iter});
+      send config on requests;
+      send d on dout;
+      receive result from din;
+      check = checksumWeighted(result.counts);
+      printString("checksum=");
+      printInt(check);
+      stop;
+    }}
+  }}
+
+  boot {{
+    d = new Dispatch();
+    m = new Mandelbrot();
+    connect d.requests to m.requests;
+  }}
+}}
+"""
+
+
+def ensemble_single_source(w: int, h: int, max_iter: int) -> str:
+    return ENSEMBLE_SINGLE_SOURCE_TEMPLATE.format(w=w, h=h, max_iter=max_iter)
+
+
+def ensemble_opencl_source(
+    w: int,
+    h: int,
+    max_iter: int,
+    device_type: str = "GPU",
+    groupsize: int = 8,
+) -> str:
+    if w % groupsize or h % groupsize:
+        groupsize = 0
+    return ENSEMBLE_OPENCL_SOURCE_TEMPLATE.format(
+        w=w, h=h, max_iter=max_iter, device_type=device_type,
+        groupsize=groupsize,
+    )

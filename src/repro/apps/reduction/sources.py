@@ -1,0 +1,250 @@
+"""Matrix (array) reduction — all source variants (Section 7.1, Fig 3d).
+
+The paper finds the minimum of a 33,554,432-element array with a
+parallel tree reduction in a single kernel.  Each work-group reduces 64
+elements through local memory with barriers; the host combines the
+per-group partials.  The paper notes this application "required very
+different kernel logic to the single-threaded equivalent in both
+Ensemble and C" — visible here as the local-memory/barrier code — while
+OpenACC keeps the one-line loop with a ``reduction`` clause and pays for
+it in performance.
+
+Input: ``v[i] = ((i * 1103515245 + 12345) % 100000) + 1`` with a planted
+minimum ``0.5`` at ``3n/4``.
+"""
+
+GROUP = 64
+
+KERNEL_SOURCE = """
+__kernel void reduce_min(__global float *data, __global float *partial,
+                         int n) {
+    __local float tile[64];
+    int gid = get_global_id(0);
+    int lid = get_local_id(0);
+    int width = get_local_size(0);
+    if (gid < n) {
+        tile[lid] = data[gid];
+    } else {
+        tile[lid] = data[0];
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int s = width / 2; s > 0; s = s / 2) {
+        if (lid < s) {
+            if (tile[lid + s] < tile[lid]) {
+                tile[lid] = tile[lid + s];
+            }
+        }
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    if (lid == 0) {
+        partial[get_group_id(0)] = tile[0];
+    }
+}
+"""
+
+SINGLE_C_SOURCE = """
+void generate(__global float *v, int n) {
+    for (int i = 0; i < n; i++) {
+        v[i] = (float)((i * 1103515245 + 12345) % 100000) + 1.0;
+    }
+    v[3 * n / 4] = 0.5;
+}
+
+float reduce_min(__global float *v, int n) {
+    float m = v[0];
+    for (int i = 1; i < n; i++) {
+        if (v[i] < m) {
+            m = v[i];
+        }
+    }
+    return m;
+}
+
+float run(int n) {
+    float v[n];
+    generate(v, n);
+    return reduce_min(v, n);
+}
+"""
+
+OPENACC_SOURCE = """
+void generate(__global float *v, int n) {
+    for (int i = 0; i < n; i++) {
+        v[i] = (float)((i * 1103515245 + 12345) % 100000) + 1.0;
+    }
+    v[3 * n / 4] = 0.5;
+}
+
+float reduce_min(__global float *v, int n) {
+    float m = v[0];
+    #pragma acc parallel loop reduction(min:m) copyin(v[0:n])
+    for (int i = 0; i < n; i++) {
+        if (v[i] < m) {
+            m = v[i];
+        }
+    }
+    return m;
+}
+
+float run(int n) {
+    float v[n];
+    generate(v, n);
+    return reduce_min(v, n);
+}
+"""
+
+ENSEMBLE_SINGLE_SOURCE_TEMPLATE = """
+type data_t is struct (
+    real [] values;
+    real [] partial
+)
+type dispatchI is interface (
+  out data_t dout;
+  in data_t din
+)
+type reduceI is interface(
+  in data_t input;
+  out data_t output
+)
+
+stage home {{
+  actor Reduce presents reduceI {{
+    constructor() {{}}
+    behaviour {{
+      receive d from input;
+      n = length(d.values);
+      m = d.values[0];
+      for i = 1 .. n - 1 do {{
+        if d.values[i] < m then {{
+          m := d.values[i];
+        }}
+      }}
+      d.partial[0] := m;
+      send d on output;
+    }}
+  }}
+
+  actor Dispatch presents dispatchI {{
+    constructor() {{}}
+    behaviour {{
+      n = {n};
+      v = new real[n] of 0.0;
+      fillPattern1D(v, 1103515245, 12345, 100000, 1, 1.0);
+      v[3 * n / 4] := 0.5;
+      partial = new real[1] of 0.0;
+      d = new data_t(v, partial);
+      send d on dout;
+      receive d from din;
+      printString("minimum=");
+      printReal(d.partial[0]);
+      stop;
+    }}
+  }}
+
+  boot {{
+    d = new Dispatch();
+    r = new Reduce();
+    connect d.dout to r.input;
+    connect r.output to d.din;
+  }}
+}}
+"""
+
+ENSEMBLE_OPENCL_SOURCE_TEMPLATE = """
+type data_t is struct (
+    real [] values;
+    real [] partial
+)
+type settings_t is opencl struct (
+    integer [] worksize;
+    integer [] groupsize;
+    in mov data_t input;
+    out mov data_t output
+)
+type dispatchI is interface (
+  out settings_t requests;
+  out mov data_t dout;
+  in mov data_t din
+)
+type reduceI is interface(
+  in settings_t requests
+)
+
+stage home {{
+  opencl <device_index=0, device_type={device_type}>
+  actor Reduce presents reduceI {{
+    constructor() {{}}
+    behaviour {{
+      receive req from requests;
+      receive d from req.input;
+      tile = new local real[{group}] of 0.0;
+      gid = get_global_id(0);
+      lid = get_local_id(0);
+      width = get_local_size(0);
+      tile[lid] := d.values[gid];
+      barrier();
+      s = width / 2;
+      while s > 0 do {{
+        if lid < s then {{
+          if tile[lid + s] < tile[lid] then {{
+            tile[lid] := tile[lid + s];
+          }}
+        }}
+        barrier();
+        s := s / 2;
+      }}
+      if lid == 0 then {{
+        d.partial[get_group_id(0)] := tile[0];
+      }}
+      send d on req.output;
+    }}
+  }}
+
+  actor Dispatch presents dispatchI {{
+    constructor() {{}}
+    behaviour {{
+      n = {n};
+      groups = n / {group};
+      ws = new integer[1] of n;
+      gs = new integer[1] of {group};
+      i = new in mov data_t;
+      o = new out mov data_t;
+
+      connect dout to i;
+      connect o to din;
+
+      config = new settings_t(ws, gs, i, o);
+      v = new real[n] of 0.0;
+      fillPattern1D(v, 1103515245, 12345, 100000, 1, 1.0);
+      v[3 * n / 4] := 0.5;
+      partial = new real[groups] of 0.0;
+      d = new data_t(v, partial);
+      send config on requests;
+      send d on dout;
+      receive d from din;
+      m = minElement(d.partial);
+      printString("minimum=");
+      printReal(m);
+      stop;
+    }}
+  }}
+
+  boot {{
+    d = new Dispatch();
+    r = new Reduce();
+    connect d.requests to r.requests;
+  }}
+}}
+"""
+
+
+def ensemble_single_source(n: int) -> str:
+    return ENSEMBLE_SINGLE_SOURCE_TEMPLATE.format(n=n)
+
+
+def ensemble_opencl_source(n: int, device_type: str = "GPU") -> str:
+    if n % GROUP:
+        raise ValueError(f"n must be a multiple of {GROUP}")
+    return ENSEMBLE_OPENCL_SOURCE_TEMPLATE.format(
+        n=n, device_type=device_type, group=GROUP
+    )

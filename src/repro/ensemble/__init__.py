@@ -1,0 +1,56 @@
+"""The Ensemble actor language: parser, type checker, compiler.
+
+End-to-end usage::
+
+    from repro import ensemble
+
+    compiled = ensemble.compile_source(SOURCE)
+    result = ensemble.run_source(SOURCE)      # boots and runs the stage
+    print(result.output)
+
+The execution engine lives in :mod:`repro.runtime.vm`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .ast import Program  # noqa: F401
+from .bytecode import CompiledActor, CompiledProgram, KernelPlan  # noqa: F401
+from .compiler import compile_program  # noqa: F401
+from .parser import parse  # noqa: F401
+from .typecheck import typecheck  # noqa: F401
+from .types import TypeTable  # noqa: F401
+
+
+def compile_source(source: str) -> CompiledProgram:
+    """Parse, type-check and compile Ensemble *source* to bytecode."""
+    program = parse(source)
+    table = typecheck(program)
+    compiled = compile_program(program, table)
+    compiled.source = source
+    return compiled
+
+
+@dataclass
+class RunResult:
+    """Outcome of :func:`run_source`."""
+
+    output: list[str] = field(default_factory=list)
+    vm: object = None
+
+    @property
+    def text(self) -> str:
+        return "".join(self.output)
+
+
+def run_source(
+    source: str, timeout: float = 120.0, echo: bool = False
+) -> RunResult:
+    """Compile and execute an Ensemble program; returns its print output."""
+    from ..runtime.vm import EnsembleVM
+
+    compiled = compile_source(source)
+    vm = EnsembleVM(compiled, echo=echo)
+    vm.run(timeout)
+    return RunResult(output=vm.output, vm=vm)

@@ -1,0 +1,129 @@
+"""Exception hierarchy shared by every repro subsystem.
+
+Each layer of the stack (kernel IR, kernel-C front end, OpenCL substrate,
+Ensemble language, actor runtime, OpenACC baseline) raises a subclass of
+:class:`ReproError` so callers can catch per-layer or catch-all.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class KirError(ReproError):
+    """Malformed or unexecutable kernel IR."""
+
+
+class KirValidationError(KirError):
+    """IR failed static validation (unknown variable, bad types, ...)."""
+
+
+class KirRuntimeError(KirError):
+    """IR execution failed (out-of-bounds index, div by zero, ...)."""
+
+
+class SourceError(ReproError):
+    """An error with a position in some source text."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{line}:{column}: {message}"
+        super().__init__(message)
+
+
+class LexError(SourceError):
+    """Tokeniser rejected the input text."""
+
+
+class ParseError(SourceError):
+    """Parser rejected the token stream."""
+
+
+class TypeCheckError(SourceError):
+    """Static semantic analysis rejected the program."""
+
+
+class MovabilityError(TypeCheckError):
+    """A movable (``mov``) value was used after being sent on a channel."""
+
+
+class CLError(ReproError):
+    """Base class for OpenCL substrate errors; carries a CL-style code."""
+
+    code = "CL_ERROR"
+
+    def __init__(self, message: str = "") -> None:
+        super().__init__(f"{self.code}: {message}" if message else self.code)
+
+
+class CLInvalidValue(CLError):
+    code = "CL_INVALID_VALUE"
+
+
+class CLInvalidDevice(CLError):
+    code = "CL_INVALID_DEVICE"
+
+
+class CLInvalidContext(CLError):
+    code = "CL_INVALID_CONTEXT"
+
+
+class CLInvalidKernelArgs(CLError):
+    code = "CL_INVALID_KERNEL_ARGS"
+
+
+class CLInvalidWorkGroupSize(CLError):
+    code = "CL_INVALID_WORK_GROUP_SIZE"
+
+
+class CLBuildProgramFailure(CLError):
+    code = "CL_BUILD_PROGRAM_FAILURE"
+
+    def __init__(self, message: str = "", build_log: str = "") -> None:
+        self.build_log = build_log
+        super().__init__(message)
+
+
+class CLOutOfResources(CLError):
+    code = "CL_OUT_OF_RESOURCES"
+
+
+class CLMemObjectReleased(CLError):
+    code = "CL_INVALID_MEM_OBJECT"
+
+
+class RuntimeFault(ReproError):
+    """Actor runtime misbehaviour (bad channel use, dead actor, ...)."""
+
+
+class ChannelError(RuntimeFault):
+    """Illegal channel operation (type mismatch, disconnected, closed)."""
+
+
+class ChannelClosed(ChannelError):
+    """All senders of a channel have terminated and the buffer is empty."""
+
+
+class MovedValueError(RuntimeFault):
+    """A movable value was accessed after ownership was transferred."""
+
+
+class ActorError(RuntimeFault):
+    """An actor's behaviour raised; wraps the original exception."""
+
+
+class VMError(RuntimeFault):
+    """Ensemble VM fault (bad bytecode, stack underflow, ...)."""
+
+
+class AccError(ReproError):
+    """OpenACC baseline: pragma parsing or region compilation failure."""
+
+
+class AccUnsupportedError(AccError):
+    """The pragma compiler refuses the construct (paper: PGI could not
+    compile the document-ranking source)."""

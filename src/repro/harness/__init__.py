@@ -1,0 +1,14 @@
+"""Evaluation harness: regenerates every table and figure of Section 7."""
+
+from .figures import (  # noqa: F401
+    Bar,
+    FigureResult,
+    FigureSpec,
+    SEGMENTS,
+    bench_platform,
+    build_figure,
+    build_figure_by_id,
+    figure_spec,
+    scaled_devices,
+)
+from .report import render_figure, render_ratio_summary  # noqa: F401

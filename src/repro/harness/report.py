@@ -1,0 +1,63 @@
+"""Text rendering of figures and tables (the paper's charts as ASCII)."""
+
+from __future__ import annotations
+
+from .figures import SEGMENTS, FigureResult
+
+_SEGMENT_LABEL = {
+    "to_device": "to device",
+    "from_device": "from device",
+    "kernel": "kernel",
+    "overhead": "overhead",
+}
+
+
+def render_figure(result: FigureResult, width: int = 46) -> str:
+    """One figure as a table of normalised stacked segments plus a bar."""
+    lines = [
+        f"Figure {result.figure}: {result.title}",
+        f"(normalised to Ensemble GPU = 1.00; params {result.params})",
+        "",
+        f"{'variant':<16}" + "".join(
+            f"{_SEGMENT_LABEL[s]:>12}" for s in SEGMENTS
+        ) + f"{'total':>10}",
+    ]
+    peak = max((bar.total for bar in result.bars), default=1.0) or 1.0
+    for bar in result.bars:
+        if bar.failed:
+            lines.append(f"{bar.label:<16}  -- {bar.note}")
+            continue
+        cells = "".join(
+            f"{bar.segments.get(s, 0.0):>12.3f}" for s in SEGMENTS
+        )
+        lines.append(f"{bar.label:<16}{cells}{bar.total:>10.2f}")
+    lines.append("")
+    for bar in result.bars:
+        if bar.failed:
+            lines.append(f"{bar.label:<16}|  (no result: {bar.note})")
+            continue
+        filled = max(1, round(width * bar.total / peak))
+        lines.append(f"{bar.label:<16}|{'#' * filled} {bar.total:.2f}x")
+    return "\n".join(lines)
+
+
+def render_ratio_summary(result: FigureResult) -> str:
+    """Key ratios the paper's prose reports for the figure."""
+    def total(label: str) -> float:
+        bar = result.bar(label)
+        return bar.total if not bar.failed else float("nan")
+
+    lines = [f"Figure {result.figure} ratios (x Ensemble GPU):"]
+    for label in (
+        "C-OpenCL GPU",
+        "C-OpenACC GPU",
+        "Ensemble CPU",
+        "C-OpenCL CPU",
+        "C-OpenACC CPU",
+    ):
+        bar = result.bar(label)
+        if bar.failed:
+            lines.append(f"  {label:<16} no result ({bar.note})")
+        else:
+            lines.append(f"  {label:<16} {bar.total:.2f}x")
+    return "\n".join(lines)

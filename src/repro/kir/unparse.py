@@ -1,0 +1,144 @@
+"""Unparse kernel IR back to kernel-C source text.
+
+The Ensemble compiler extracts an ``opencl`` actor's kernel region,
+lowers it to IR, and then — exactly as the paper stores a generated C
+string inside the actor's bytecode (Section 6.1.3) — serialises the IR
+to kernel-C with this module.  At dispatch time the runtime compiles
+that string through the ordinary ``clCreateProgramWithSource`` path, so
+the Ensemble flow and the C-OpenCL baseline share one compilation
+pipeline.
+
+The output is valid input for :mod:`repro.kernelc`; round-tripping is
+covered by tests.
+"""
+
+from __future__ import annotations
+
+from ..errors import KirError
+from . import ir
+
+_SPACE_QUALIFIER = {
+    ir.GLOBAL: "__global",
+    ir.LOCAL: "__local",
+    ir.CONSTANT: "__constant",
+    ir.PRIVATE: "",
+}
+
+
+def unparse_module(module: ir.Module) -> str:
+    """Render every function of *module* as kernel-C source."""
+    parts = [unparse_function(fn) for fn in module.functions.values()]
+    return "\n\n".join(parts) + "\n"
+
+
+def unparse_function(fn: ir.Function) -> str:
+    lines: list[str] = []
+    params = ", ".join(_param(p) for p in fn.params)
+    ret = fn.ret_type if isinstance(fn.ret_type, str) else str(fn.ret_type)
+    head = f"__kernel void {fn.name}({params})" if fn.is_kernel else (
+        f"{ret} {fn.name}({params})"
+    )
+    lines.append(head + " {")
+    _stmts(fn.body, lines, 1)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _param(p: ir.Param) -> str:
+    if isinstance(p.type, ir.ArrayType):
+        qual = _SPACE_QUALIFIER[p.type.space] or "__global"
+        return f"{qual} {p.type.element.kind} *{p.name}"
+    return f"{p.type.kind} {p.name}"
+
+
+def _stmts(stmts: list[ir.Stmt], lines: list[str], depth: int) -> None:
+    pad = "    " * depth
+    for st in stmts:
+        _stmt(st, lines, depth, pad)
+
+
+def _stmt(st: ir.Stmt, lines: list[str], depth: int, pad: str) -> None:
+    if isinstance(st, ir.Decl):
+        lines.append(pad + _decl(st))
+    elif isinstance(st, ir.Assign):
+        lines.append(f"{pad}{st.name} = {_expr(st.value)};")
+    elif isinstance(st, ir.Store):
+        lines.append(
+            f"{pad}{_expr(st.base)}[{_expr(st.index)}] = {_expr(st.value)};"
+        )
+    elif isinstance(st, ir.If):
+        lines.append(f"{pad}if ({_expr(st.cond)}) {{")
+        _stmts(st.then, lines, depth + 1)
+        if st.orelse:
+            lines.append(pad + "} else {")
+            _stmts(st.orelse, lines, depth + 1)
+        lines.append(pad + "}")
+    elif isinstance(st, ir.For):
+        if not isinstance(st.step, ir.Const):
+            raise KirError("unparse: for-loop step must be constant")
+        cmp = "<" if st.step.value > 0 else ">"
+        lines.append(
+            f"{pad}for (int {st.var} = {_expr(st.start)}; "
+            f"{st.var} {cmp} {_expr(st.stop)}; "
+            f"{st.var} = {st.var} + {_expr(st.step)}) {{"
+        )
+        _stmts(st.body, lines, depth + 1)
+        lines.append(pad + "}")
+    elif isinstance(st, ir.While):
+        lines.append(f"{pad}while ({_expr(st.cond)}) {{")
+        _stmts(st.body, lines, depth + 1)
+        lines.append(pad + "}")
+    elif isinstance(st, ir.Break):
+        lines.append(pad + "break;")
+    elif isinstance(st, ir.Continue):
+        lines.append(pad + "continue;")
+    elif isinstance(st, ir.Return):
+        if st.value is None:
+            lines.append(pad + "return;")
+        else:
+            lines.append(f"{pad}return {_expr(st.value)};")
+    elif isinstance(st, ir.ExprStmt):
+        lines.append(f"{pad}{_expr(st.expr)};")
+    elif isinstance(st, ir.Barrier):
+        lines.append(pad + "barrier(CLK_LOCAL_MEM_FENCE);")
+    else:
+        raise KirError(f"unparse: unknown statement {type(st).__name__}")
+
+
+def _decl(st: ir.Decl) -> str:
+    if isinstance(st.type, ir.ArrayType):
+        qual = _SPACE_QUALIFIER[st.type.space]
+        prefix = f"{qual} " if qual else ""
+        if st.size is None:
+            raise KirError(f"unparse: array decl {st.name!r} without size")
+        return f"{prefix}{st.type.element.kind} {st.name}[{_expr(st.size)}];"
+    base = f"{st.type.kind} {st.name}"
+    if st.init is not None:
+        return f"{base} = {_expr(st.init)};"
+    return base + ";"
+
+
+def _expr(e: ir.Expr) -> str:
+    if isinstance(e, ir.Const):
+        if isinstance(e.value, bool):
+            return "true" if e.value else "false"
+        if isinstance(e.value, float):
+            text = repr(e.value)
+            return text
+        return repr(e.value)
+    if isinstance(e, ir.Var):
+        return e.name
+    if isinstance(e, ir.BinOp):
+        return f"({_expr(e.left)} {e.op} {_expr(e.right)})"
+    if isinstance(e, ir.UnOp):
+        return f"({e.op}{_expr(e.operand)})"
+    if isinstance(e, ir.Index):
+        return f"{_expr(e.base)}[{_expr(e.index)}]"
+    if isinstance(e, ir.Call):
+        args = ", ".join(_expr(a) for a in e.args)
+        return f"{e.name}({args})"
+    if isinstance(e, ir.Cast):
+        return f"(({e.target.kind})({_expr(e.operand)}))"
+    if isinstance(e, ir.Select):
+        return f"({_expr(e.cond)} ? {_expr(e.if_true)} : {_expr(e.if_false)})"
+    raise KirError(f"unparse: unknown expression {type(e).__name__}")

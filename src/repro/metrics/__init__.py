@@ -1,0 +1,13 @@
+"""Code-complexity metrics (paper Section 7.3, Table 1)."""
+
+from .base import Metrics, MetricsDelta, text_loc  # noqa: F401
+from .ensemble_metrics import analyze_ensemble  # noqa: F401
+from .kernelc_metrics import analyze_kernelc  # noqa: F401
+from .python_metrics import analyze_python  # noqa: F401
+from .table1 import (  # noqa: F401
+    APPLICATIONS,
+    Table1Row,
+    build_row,
+    build_table1,
+    render_table1,
+)

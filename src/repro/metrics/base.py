@@ -1,0 +1,101 @@
+"""Common metric representation (Table 1's three columns).
+
+The paper reports, per application and approach, the *difference*
+between the concurrent and the single-threaded version in: lines of
+code, McCabe cyclomatic complexity, and the ABC size metric
+(assignments / branches / conditions, Fitzpatrick 2000).  ABC components
+are kept as a vector so multi-artifact variants (host code + kernel
+source) can be summed before taking the magnitude.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Metrics:
+    loc: int
+    cyclomatic: int
+    assignments: int
+    branches: int
+    conditions: int
+
+    @property
+    def abc(self) -> float:
+        """ABC magnitude |<A, B, C>|."""
+        return math.sqrt(
+            self.assignments**2 + self.branches**2 + self.conditions**2
+        )
+
+    def __add__(self, other: "Metrics") -> "Metrics":
+        return Metrics(
+            self.loc + other.loc,
+            self.cyclomatic + other.cyclomatic,
+            self.assignments + other.assignments,
+            self.branches + other.branches,
+            self.conditions + other.conditions,
+        )
+
+    def delta(self, baseline: "Metrics") -> "MetricsDelta":
+        return MetricsDelta(
+            loc=self.loc - baseline.loc,
+            loc_pct=_pct(self.loc - baseline.loc, baseline.loc),
+            cyclomatic=self.cyclomatic - baseline.cyclomatic,
+            cyclomatic_pct=_pct(
+                self.cyclomatic - baseline.cyclomatic, baseline.cyclomatic
+            ),
+            abc=round(self.abc - baseline.abc, 1),
+            abc_pct=_pct(self.abc - baseline.abc, baseline.abc),
+        )
+
+
+@dataclass(frozen=True)
+class MetricsDelta:
+    """One Table-1 cell triple: absolute change and percentage."""
+
+    loc: int
+    loc_pct: int
+    cyclomatic: int
+    cyclomatic_pct: int
+    abc: float
+    abc_pct: int
+
+
+def _pct(change: float, base: float) -> int:
+    if base == 0:
+        return 0
+    return round(100.0 * change / base)
+
+
+def text_loc(source: str, comment_starts: tuple[str, ...] = ("//",)) -> int:
+    """Physical lines of code: non-blank, non-comment-only lines.
+
+    Block comments (``/* ... */``) are stripped first; ``#pragma`` lines
+    count as code — annotations are the cost the pragma approach pays.
+    """
+    out = []
+    in_block = False
+    for raw in source.splitlines():
+        line = raw.strip()
+        if in_block:
+            if "*/" in line:
+                line = line.split("*/", 1)[1].strip()
+                in_block = False
+            else:
+                continue
+        while "/*" in line:
+            head, rest = line.split("/*", 1)
+            if "*/" in rest:
+                line = (head + rest.split("*/", 1)[1]).strip()
+            else:
+                line = head.strip()
+                in_block = True
+                break
+        if not line:
+            continue
+        if any(line.startswith(mark) for mark in comment_starts):
+            continue
+        out.append(line)
+    return len(out)

@@ -1,0 +1,65 @@
+"""Complexity metrics for kernel-C source (kernels, single-threaded C,
+OpenACC-annotated C).
+
+LoC is counted on the raw text (``#pragma`` lines count — annotations
+are the pragma approach's cost); structural metrics walk the kir tree.
+"""
+
+from __future__ import annotations
+
+from .. import kir
+from ..kernelc.parser import parse
+from .base import Metrics, text_loc
+
+
+def _function_decisions(fn: kir.Function) -> int:
+    decisions = 0
+    for st in kir.walk_stmts(fn.body):
+        if isinstance(st, (kir.If, kir.For, kir.While)):
+            decisions += 1
+        for e in kir.walk_exprs(st):
+            if isinstance(e, kir.BinOp) and e.op in ("&&", "||"):
+                decisions += 1
+            elif isinstance(e, kir.Select):
+                decisions += 1
+    return decisions
+
+
+def kir_metrics(module: kir.Module) -> tuple[int, int, int, int]:
+    """(cyclomatic, assignments, branches, conditions) for a module."""
+    cyclomatic = 0
+    a = b = c = 0
+    for fn in module.functions.values():
+        cyclomatic += 1 + _function_decisions(fn)
+        for st in kir.walk_stmts(fn.body):
+            if isinstance(st, (kir.Assign, kir.Store)):
+                a += 1
+            elif isinstance(st, kir.Decl) and st.init is not None:
+                a += 1
+            if isinstance(st, (kir.If, kir.While, kir.For)):
+                c += 1
+            for e in kir.walk_exprs(st):
+                if isinstance(e, kir.Call):
+                    b += 1
+                elif isinstance(e, kir.BinOp) and e.op in (
+                    kir.COMPARE_OPS + kir.LOGIC_OPS
+                ):
+                    c += 1
+                elif isinstance(e, kir.UnOp) and e.op == "!":
+                    c += 1
+                elif isinstance(e, kir.Select):
+                    c += 1
+    return cyclomatic, a, b, c
+
+
+def analyze_kernelc(source: str) -> Metrics:
+    """Full metric vector for one kernel-C artifact."""
+    module = parse(source)
+    cyclomatic, a, b, c = kir_metrics(module)
+    return Metrics(
+        loc=text_loc(source),
+        cyclomatic=cyclomatic,
+        assignments=a,
+        branches=b,
+        conditions=c,
+    )

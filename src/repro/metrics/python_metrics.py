@@ -1,0 +1,107 @@
+"""Complexity metrics for Python source (the API-approach host code)."""
+
+from __future__ import annotations
+
+import ast as pyast
+import io
+import tokenize
+
+from .base import Metrics
+
+
+def python_loc(source: str) -> int:
+    """Logical LoC: lines carrying at least one real code token.
+
+    Comments, blank lines and docstrings do not count.
+    """
+    doc_lines: set[int] = set()
+    tree = pyast.parse(source)
+    for node in pyast.walk(tree):
+        if isinstance(
+            node,
+            (pyast.Module, pyast.FunctionDef, pyast.AsyncFunctionDef,
+             pyast.ClassDef),
+        ):
+            body = node.body
+            if (
+                body
+                and isinstance(body[0], pyast.Expr)
+                and isinstance(body[0].value, pyast.Constant)
+                and isinstance(body[0].value.value, str)
+            ):
+                doc = body[0]
+                for line in range(doc.lineno, (doc.end_lineno or doc.lineno) + 1):
+                    doc_lines.add(line)
+    code_lines: set[int] = set()
+    for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+        if tok.type in (
+            tokenize.COMMENT,
+            tokenize.NL,
+            tokenize.NEWLINE,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+            tokenize.ENDMARKER,
+        ):
+            continue
+        for line in range(tok.start[0], tok.end[0] + 1):
+            if line not in doc_lines:
+                code_lines.add(line)
+    return len(code_lines)
+
+
+def python_cyclomatic(source: str) -> int:
+    """McCabe complexity of the whole artifact: 1 + decision points."""
+    tree = pyast.parse(source)
+    decisions = 0
+    for node in pyast.walk(tree):
+        if isinstance(
+            node,
+            (pyast.If, pyast.For, pyast.While, pyast.IfExp,
+             pyast.ExceptHandler, pyast.Assert, pyast.AsyncFor),
+        ):
+            decisions += 1
+        elif isinstance(node, pyast.BoolOp):
+            decisions += len(node.values) - 1
+        elif isinstance(node, pyast.comprehension):
+            decisions += 1 + len(node.ifs)
+        elif isinstance(node, (pyast.FunctionDef, pyast.AsyncFunctionDef)):
+            decisions += 1
+    return 1 + decisions
+
+
+def python_abc(source: str) -> tuple[int, int, int]:
+    """ABC components for Python: assignments, branches (calls),
+    conditions (comparisons and boolean logic)."""
+    tree = pyast.parse(source)
+    a = b = c = 0
+    for node in pyast.walk(tree):
+        if isinstance(node, (pyast.Assign, pyast.AugAssign, pyast.AnnAssign)):
+            a += 1
+        elif isinstance(node, pyast.Call):
+            b += 1
+        elif isinstance(node, pyast.Compare):
+            c += len(node.ops)
+        elif isinstance(node, pyast.BoolOp):
+            c += len(node.values) - 1
+        elif isinstance(node, pyast.UnaryOp) and isinstance(
+            node.op, pyast.Not
+        ):
+            c += 1
+        elif isinstance(node, (pyast.If, pyast.While, pyast.IfExp)):
+            c += 1
+    return a, b, c
+
+
+def analyze_python(source: str) -> Metrics:
+    """Full metric vector for one Python artifact."""
+    import textwrap
+
+    source = textwrap.dedent(source)
+    a, b, c = python_abc(source)
+    return Metrics(
+        loc=python_loc(source),
+        cyclomatic=python_cyclomatic(source),
+        assignments=a,
+        branches=b,
+        conditions=c,
+    )

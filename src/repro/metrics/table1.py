@@ -1,0 +1,145 @@
+"""Table 1: difference between single-threaded and concurrent code,
+per approach, for all five applications.
+
+Approach-consistent comparisons (see DESIGN.md):
+
+* **C (API approach)** — single-threaded Python function vs the verbose
+  ``cl*`` host function plus the kernel-C source string.  (The paper
+  wrote both in C; here the host language is Python, so both sides of
+  the delta are Python and the shape — a large boilerplate cost — is
+  preserved.)
+* **Ensemble** — single-threaded Ensemble program vs the
+  Ensemble-OpenCL program.
+* **OpenACC** — plain kernel-C program vs the same program with
+  ``#pragma`` annotations.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+
+from ..apps import docrank, lud, mandelbrot, matmul, reduction
+from .base import Metrics, MetricsDelta
+from .ensemble_metrics import analyze_ensemble
+from .kernelc_metrics import analyze_kernelc
+from .python_metrics import analyze_python
+
+APPLICATIONS = (
+    "Matrix Multiplication",
+    "Mandelbrot",
+    "Reduction",
+    "LUD",
+    "Document Ranking",
+)
+
+_APP_MODULES = {
+    "Matrix Multiplication": matmul,
+    "Mandelbrot": mandelbrot,
+    "Reduction": reduction,
+    "LUD": lud,
+    "Document Ranking": docrank,
+}
+
+# Representative sizes baked into generated Ensemble sources (metrics do
+# not depend on the values, only on the code shape).
+_ENSEMBLE_SOURCES = {
+    "Matrix Multiplication": lambda m: (
+        m.ensemble_single_source(64),
+        m.ensemble_opencl_source(64),
+    ),
+    "Mandelbrot": lambda m: (
+        m.ensemble_single_source(64, 64, 100),
+        m.ensemble_opencl_source(64, 64, 100),
+    ),
+    "Reduction": lambda m: (
+        m.ensemble_single_source(4096),
+        m.ensemble_opencl_source(4096),
+    ),
+    "LUD": lambda m: (
+        m.ensemble_single_source(64),
+        m.ensemble_opencl_source(64),
+    ),
+    "Document Ranking": lambda m: (
+        m.ensemble_single_source(128, 48, 8),
+        m.ensemble_opencl_source(128, 48, 8),
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    application: str
+    c_api: MetricsDelta
+    ensemble: MetricsDelta
+    openacc: MetricsDelta
+
+
+def _fn_source(fn) -> str:
+    return inspect.getsource(fn)
+
+
+def api_metrics(module) -> tuple[Metrics, Metrics]:
+    """(single-threaded, concurrent) metric vectors for the API approach."""
+    single = analyze_python(_fn_source(module.run_python))
+    host = analyze_python(_fn_source(module.run_api))
+    kernel = analyze_kernelc(module.KERNEL_SOURCE)
+    return single, host + kernel
+
+
+def ensemble_metrics(name: str, module) -> tuple[Metrics, Metrics]:
+    single_src, concurrent_src = _ENSEMBLE_SOURCES[name](module)
+    return analyze_ensemble(single_src), analyze_ensemble(concurrent_src)
+
+
+def openacc_metrics(module) -> tuple[Metrics, Metrics]:
+    single = analyze_kernelc(module.SINGLE_C_SOURCE)
+    annotated = analyze_kernelc(module.OPENACC_SOURCE)
+    return single, annotated
+
+
+def build_row(name: str) -> Table1Row:
+    module = _APP_MODULES[name]
+    api_single, api_conc = api_metrics(module)
+    ens_single, ens_conc = ensemble_metrics(name, module)
+    acc_single, acc_conc = openacc_metrics(module)
+    return Table1Row(
+        application=name,
+        c_api=api_conc.delta(api_single),
+        ensemble=ens_conc.delta(ens_single),
+        openacc=acc_conc.delta(acc_single),
+    )
+
+
+def build_table1() -> list[Table1Row]:
+    """All five rows of Table 1."""
+    return [build_row(name) for name in APPLICATIONS]
+
+
+def render_table1(rows: list[Table1Row] | None = None) -> str:
+    """The paper's Table 1 as text: Δ (Δ%) per metric and approach."""
+    rows = rows if rows is not None else build_table1()
+    header = (
+        f"{'Application':<24}"
+        f"{'LoC':^36}{'Cyclomatic':^36}{'ABC':^36}\n"
+        f"{'':<24}"
+        + f"{'C':^12}{'Ensemble':^12}{'OpenACC':^12}" * 3
+    )
+    lines = [header]
+    for row in rows:
+        def cell(delta, attr, pct_attr):
+            return f"{getattr(delta, attr):g} ({getattr(delta, pct_attr):d})"
+
+        lines.append(
+            f"{row.application:<24}"
+            f"{cell(row.c_api, 'loc', 'loc_pct'):^12}"
+            f"{cell(row.ensemble, 'loc', 'loc_pct'):^12}"
+            f"{cell(row.openacc, 'loc', 'loc_pct'):^12}"
+            f"{cell(row.c_api, 'cyclomatic', 'cyclomatic_pct'):^12}"
+            f"{cell(row.ensemble, 'cyclomatic', 'cyclomatic_pct'):^12}"
+            f"{cell(row.openacc, 'cyclomatic', 'cyclomatic_pct'):^12}"
+            f"{cell(row.c_api, 'abc', 'abc_pct'):^12}"
+            f"{cell(row.ensemble, 'abc', 'abc_pct'):^12}"
+            f"{cell(row.openacc, 'abc', 'abc_pct'):^12}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""OpenACC/OpenMP pragma baseline (the paper's C-OpenACC comparator)."""
+
+from .compiler import AccCompiler, AccModule, LoopRegion, compile_acc  # noqa: F401
+from .pragmas import Pragma, parse_pragma  # noqa: F401
+from .runtime import AccProgram, AccResult, HOST_OPS_PER_NS  # noqa: F401

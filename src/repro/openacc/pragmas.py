@@ -1,0 +1,134 @@
+"""Parsing of ``#pragma acc`` / ``#pragma omp`` directive lines.
+
+Supported forms (the subset the paper's applications use):
+
+* ``#pragma acc parallel loop [clauses]`` — parallelise the next loop
+* ``#pragma acc kernels [clauses]`` — treated like ``parallel loop``
+* ``#pragma acc data <dataclauses>`` — device-data region over the next
+  statement (arrays stay resident for its dynamic extent)
+* ``#pragma omp parallel for [clauses]`` — the CPU annotation (the paper
+  used OpenMP pragmas for CPU targets via the same PGI compiler)
+
+Clauses: ``copy(a, b)``, ``copyin(...)``, ``copyout(...)``,
+``reduction(op:var)``, ``collapse(n)``, ``gang``, ``worker``,
+``vector``, ``num_gangs(n)``.  Array section syntax ``a[0:n]`` is
+accepted and the range ignored (the runtime knows buffer sizes).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..errors import AccError
+
+_CLAUSE_RE = re.compile(r"([a-z_]+)\s*(\(([^()]*)\))?", re.IGNORECASE)
+
+
+@dataclass
+class Pragma:
+    """One parsed directive."""
+
+    kind: str  # 'parallel_loop' | 'data'
+    line: int
+    text: str
+    copy: list[str] = field(default_factory=list)
+    copyin: list[str] = field(default_factory=list)
+    copyout: list[str] = field(default_factory=list)
+    reduction: list[tuple[str, str]] = field(default_factory=list)
+    collapse: int = 1
+    gang: bool = False
+    worker: bool = False
+    vector: bool = False
+    num_gangs: int = 0
+
+    @property
+    def tuned(self) -> bool:
+        """True when the non-trivial gang/worker/vector annotations were
+        supplied (the paper: 'requiring use of the non-trivial gangs and
+        worker annotations')."""
+        return self.gang or self.worker or self.vector
+
+
+def _names(arg: str) -> list[str]:
+    out = []
+    for part in arg.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        # strip array-section suffixes: a[0:n] -> a
+        name = part.split("[")[0].strip()
+        if not name.isidentifier():
+            raise AccError(f"bad name in data clause: {part!r}")
+        out.append(name)
+    return out
+
+
+def parse_pragma(text: str, line: int) -> "Pragma | None":
+    """Parse one ``#...`` line; returns None for non-acc/omp directives."""
+    body = text.lstrip("#").strip()
+    if body.startswith("pragma"):
+        body = body[len("pragma"):].strip()
+    else:
+        return None
+    lowered = body.lower()
+    if lowered.startswith("acc"):
+        rest = body[3:].strip()
+        if rest.lower().startswith("parallel loop"):
+            pragma = Pragma("parallel_loop", line, text)
+            clause_text = rest[len("parallel loop"):]
+        elif rest.lower().startswith("kernels loop"):
+            pragma = Pragma("parallel_loop", line, text)
+            clause_text = rest[len("kernels loop"):]
+        elif rest.lower().startswith("kernels"):
+            pragma = Pragma("parallel_loop", line, text)
+            clause_text = rest[len("kernels"):]
+        elif rest.lower().startswith("data"):
+            pragma = Pragma("data", line, text)
+            clause_text = rest[len("data"):]
+        elif rest.lower().startswith("loop"):
+            pragma = Pragma("parallel_loop", line, text)
+            clause_text = rest[len("loop"):]
+        else:
+            raise AccError(f"unsupported acc directive: {text!r}")
+    elif lowered.startswith("omp"):
+        rest = body[3:].strip()
+        if not rest.lower().startswith("parallel for"):
+            return None
+        pragma = Pragma("parallel_loop", line, text)
+        clause_text = rest[len("parallel for"):]
+    else:
+        return None
+
+    for match in _CLAUSE_RE.finditer(clause_text):
+        name = match.group(1).lower()
+        arg = (match.group(3) or "").strip()
+        if name == "copy":
+            pragma.copy.extend(_names(arg))
+        elif name == "copyin":
+            pragma.copyin.extend(_names(arg))
+        elif name == "copyout":
+            pragma.copyout.extend(_names(arg))
+        elif name == "reduction":
+            if ":" not in arg:
+                raise AccError(f"bad reduction clause: {arg!r}")
+            op, var = arg.split(":", 1)
+            op = op.strip().lower()
+            if op not in ("min", "max", "+"):
+                raise AccError(f"unsupported reduction operator {op!r}")
+            pragma.reduction.append((op, var.strip()))
+        elif name == "collapse":
+            pragma.collapse = int(arg)
+        elif name == "gang":
+            pragma.gang = True
+        elif name == "worker":
+            pragma.worker = True
+        elif name == "vector":
+            pragma.vector = True
+        elif name == "num_gangs":
+            pragma.num_gangs = int(arg)
+        elif name in ("present", "private", "independent", "seq"):
+            pass  # accepted and ignored
+        elif name:
+            raise AccError(f"unsupported clause {name!r} in {text!r}")
+    return pragma

@@ -1,0 +1,283 @@
+"""Execution engine for pragma-compiled programs.
+
+Host statements run through the kir reference interpreter (sequential C
+semantics, priced at a fixed host throughput); when execution reaches an
+annotated loop the engine dispatches the generated kernel on the target
+device instead, moving data per the directive's data clauses.
+
+Data movement semantics match OpenACC:
+
+* outside any ``data`` region, every ``parallel loop`` copies its inputs
+  to the device on entry and its outputs back on exit — *every time the
+  region executes*;
+* inside a ``data`` region, the listed arrays are device-resident for
+  the region's dynamic extent and the enclosed loops reuse the buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
+
+from ..errors import AccError
+from .. import kir
+from ..kir.interp import Interpreter
+from ..opencl import Buffer, CommandQueue, Context, CostLedger, Device
+from ..opencl.platform import find_device
+from .compiler import AccModule, DataRegion, LoopRegion, compile_acc
+
+#: Sequential host code throughput (ops per simulated nanosecond) — a
+#: single superscalar core running -O2 C (IPC ~3 at 3.3 GHz; one kir op
+#: often maps to less than one machine instruction after optimisation).
+#: Shared with the single-threaded baselines via the harness.
+HOST_OPS_PER_NS = 10.0
+
+_REDUCE_COMBINE = {
+    "min": min,
+    "max": max,
+    "+": lambda a, b: a + b,
+}
+
+
+@dataclass
+class AccResult:
+    value: Any
+    ledger: CostLedger
+    host_ops: int
+    report: list[str]
+
+    @property
+    def total_ns(self) -> float:
+        return self.ledger.total_ns
+
+
+class _AccExecutor(Interpreter):
+    """Interpreter that intercepts annotated statements."""
+
+    def __init__(
+        self,
+        acc: AccModule,
+        device: Device,
+        context: Context,
+        queue: CommandQueue,
+    ) -> None:
+        super().__init__(acc.module)
+        self.acc = acc
+        self.device = device
+        self.context = context
+        self.queue = queue
+        self.compiled_kernels = kir.compile_module(acc.kernels) if (
+            acc.kernels.functions
+        ) else None
+        # id(host list) -> Buffer, for arrays inside data regions.
+        self.resident: dict[int, Buffer] = {}
+
+    # -- interception ---------------------------------------------------
+
+    def _exec_stmt(self, st, env, wi, local_mem) -> Iterator[None]:
+        loop = self.acc.loop_regions.get(id(st))
+        if loop is not None and loop.kind != "sequential":
+            self._run_region(loop, env)
+            return
+            yield  # pragma: no cover - keeps this a generator
+        data = self.acc.data_regions.get(id(st))
+        if data is not None:
+            self._enter_data(data, env)
+            try:
+                yield from super()._exec_stmt(st, env, wi, local_mem)
+            finally:
+                self._exit_data(data, env)
+            return
+        yield from super()._exec_stmt(st, env, wi, local_mem)
+
+    # -- data regions ------------------------------------------------------
+
+    def _array(self, name: str, env: dict) -> list:
+        value = env.get(name)
+        if not isinstance(value, list):
+            raise AccError(f"data clause names non-array {name!r}")
+        return value
+
+    def _enter_data(self, region: DataRegion, env: dict) -> None:
+        for name in region.copy + region.copyin + region.copyout:
+            host = self._array(name, env)
+            if id(host) in self.resident:
+                continue
+            buf = Buffer(self.context, len(host), _dtype_of(host))
+            if name not in region.copyout:
+                self.queue.enqueue_write_buffer(buf, host)
+            self.resident[id(host)] = buf
+
+    def _exit_data(self, region: DataRegion, env: dict) -> None:
+        for name in region.copy + region.copyout:
+            host = self._array(name, env)
+            buf = self.resident.get(id(host))
+            if buf is not None:
+                self.queue.enqueue_read_buffer(buf, host)
+        for name in region.copy + region.copyin + region.copyout:
+            host = self._array(name, env)
+            buf = self.resident.pop(id(host), None)
+            if buf is not None and not buf.released:
+                buf.release()
+
+    # -- parallel regions ---------------------------------------------------
+
+    def _run_region(self, region: LoopRegion, env: dict) -> None:
+        stmt = region.stmt
+        assert isinstance(stmt, kir.For)
+        start = self._eval(stmt.start, env, None)
+        stop = self._eval(stmt.stop, env, None)
+        trip = max(0, stop - start)
+        if trip == 0:
+            return
+
+        # Bind buffers (resident ones move nothing).
+        temp_buffers: list[tuple[str, list, Buffer, bool]] = []
+        args: list[Any] = []
+        for name in region.arrays:
+            host = self._array(name, env)
+            buf = self.resident.get(id(host))
+            if buf is None:
+                buf = Buffer(self.context, len(host), _dtype_of(host))
+                if name in region.arrays_in or not region.arrays_in:
+                    self.queue.enqueue_write_buffer(buf, host)
+                readback = name in region.arrays_out
+                temp_buffers.append((name, host, buf, readback))
+            args.append(buf.data)
+        for name in region.scalars:
+            if name not in env:
+                raise AccError(f"scalar {name!r} not in scope at region")
+            args.append(env[name])
+
+        if region.kind == "reduction":
+            self._run_reduction(region, env, args, start, stop, trip)
+        else:
+            args.append(start)
+            args.append(stop)
+            gsz = trip
+            if region.collapse:
+                inner = stmt.body[0]
+                assert isinstance(inner, kir.For)
+                start1 = self._eval(inner.start, env, None)
+                stop1 = self._eval(inner.stop, env, None)
+                args.extend([start1, stop1])
+                gsz = trip * max(0, stop1 - start1)
+            lsz = min(region.local_size, self.device.spec.max_work_group_size)
+            gsz_padded = _round_up(gsz, lsz)
+            assert self.compiled_kernels is not None
+            runner = self.compiled_kernels.kernel_runner(region.kernel_name)
+            item_ops = runner.run_range(args, [gsz_padded], [lsz])
+            ns = self.device.spec.kernel_ns(item_ops, [gsz_padded], [lsz])
+            self.context.charge("kernel", ns)
+            with self.context.ledger._lock:
+                self.context.ledger.kernel_launches += 1
+
+        # Per-region copy-out for non-resident arrays.
+        for name, host, buf, readback in temp_buffers:
+            if readback:
+                self.queue.enqueue_read_buffer(buf, host)
+            buf.release()
+
+    def _run_reduction(
+        self,
+        region: LoopRegion,
+        env: dict,
+        args: list,
+        start: int,
+        stop: int,
+        trip: int,
+    ) -> None:
+        op, var = region.reduction  # type: ignore[misc]
+        if var not in env:
+            raise AccError(f"reduction variable {var!r} not in scope")
+        initial = env[var]
+        if region.pragma.num_gangs:
+            gangs = region.pragma.num_gangs
+        elif region.pragma.tuned:
+            gangs = 2 * self.device.spec.compute_units
+        else:
+            # Annotating the sequential loop is not enough (paper,
+            # Section 7.4): without explicit tuning the compiler
+            # serialises the reduction loop on the device.
+            gangs = 1
+        gangs = max(1, min(gangs, trip))
+        seed = 0 if op == "+" else initial
+        partial_host = [seed] * gangs
+        partial = Buffer(
+            self.context, gangs, "int" if isinstance(seed, int) else "float"
+        )
+        self.queue.enqueue_write_buffer(partial, partial_host)
+        args = list(args) + [partial.data]
+        assert self.compiled_kernels is not None
+        runner = self.compiled_kernels.kernel_runner(region.kernel_name)
+        item_ops = runner.run_range(args, [gangs], [1])
+        ns = self.device.spec.kernel_ns(item_ops, [gangs], [1])
+        self.context.charge("kernel", ns)
+        with self.context.ledger._lock:
+            self.context.ledger.kernel_launches += 1
+        self.queue.enqueue_read_buffer(partial, partial_host)
+        partial.release()
+        combine = _REDUCE_COMBINE[op]
+        result = initial
+        for value in partial_host:
+            result = combine(result, value)
+            self.ops += 2
+        env[var] = result
+
+
+def _dtype_of(host: list) -> str:
+    for value in host:
+        if isinstance(value, bool):
+            return "bool"
+        if isinstance(value, float):
+            return "float"
+        if isinstance(value, int):
+            return "int"
+    return "float"
+
+
+def _round_up(value: int, multiple: int) -> int:
+    if multiple <= 1:
+        return value
+    return ((value + multiple - 1) // multiple) * multiple
+
+
+class AccProgram:
+    """A pragma-annotated program, compiled and ready to run.
+
+    Raises :class:`~repro.errors.AccUnsupportedError` at construction for
+    source the pragma compiler cannot handle (the paper's PGI failure
+    mode on document ranking).
+    """
+
+    def __init__(
+        self,
+        source: str,
+        device_type: str = "GPU",
+        openmp: bool = False,
+    ) -> None:
+        # OpenMP host compilation (the paper's gcc CPU path) tolerates
+        # function calls in parallel regions; the acc GPU path does not.
+        self.acc = compile_acc(source, allow_calls=openmp)
+        self.device_type = device_type
+
+    @property
+    def report(self) -> list[str]:
+        return self.acc.report
+
+    def run(
+        self, function: str, args: list, device: Optional[Device] = None
+    ) -> AccResult:
+        device = device or find_device(self.device_type)
+        context = Context([device])
+        queue = CommandQueue(context, device)
+        executor = _AccExecutor(self.acc, device, context, queue)
+        value = executor.call(function, args)
+        host_ns = executor.ops / HOST_OPS_PER_NS
+        context.charge("host", host_ns)
+        return AccResult(
+            value=value,
+            ledger=context.ledger,
+            host_ops=executor.ops,
+            report=self.acc.report,
+        )

@@ -1,0 +1,50 @@
+"""Simulated OpenCL substrate: platforms, devices, contexts, queues,
+buffers and runtime-compiled kernels, priced by a deterministic cost
+model (see DESIGN.md for the substitution rationale).
+
+Two interfaces are exposed:
+
+* the **object layer** (`Context`, `CommandQueue`, `Buffer`, `Program`,
+  `Kernel`) used by the actor runtime, and
+* the **flat `cl*` API** (:mod:`repro.opencl.api`) used by the paper's
+  verbose C-OpenCL baseline applications.
+"""
+
+from .context import Context, current_clock, fresh_clock  # noqa: F401
+from .costmodel import (  # noqa: F401
+    ACCELERATOR,
+    CPU,
+    ELEMENT_BYTES,
+    GPU,
+    CostLedger,
+    DeviceSpec,
+    SimClock,
+    cpu_spec,
+    gpu_spec,
+)
+from .memory import (  # noqa: F401
+    Buffer,
+    COPY_HOST_PTR,
+    READ_ONLY,
+    READ_WRITE,
+    WRITE_ONLY,
+)
+from .platform import (  # noqa: F401
+    Device,
+    Platform,
+    find_device,
+    get_platforms,
+    reset_platforms,
+    scaled_platform,
+    set_platforms,
+)
+from .program import Kernel, Program  # noqa: F401
+from .queue import (  # noqa: F401
+    COPY_BUFFER,
+    CommandQueue,
+    Event,
+    NDRANGE_KERNEL,
+    READ_BUFFER,
+    WRITE_BUFFER,
+)
+from . import api  # noqa: F401

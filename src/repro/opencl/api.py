@@ -1,0 +1,153 @@
+"""The flat, C-style OpenCL API.
+
+This is the verbose interface the paper's *C-OpenCL* baseline programs
+against: explicit discovery, context construction, queue creation,
+buffer management, runtime compilation, argument binding and dispatch.
+The object layer (:mod:`repro.opencl.context` etc.) does the work; this
+module adds the call-by-call ceremony — and charges each call's host
+overhead — so the API-style applications in :mod:`repro.apps` carry the
+same boilerplate burden the paper measures in Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..errors import CLInvalidValue
+from .context import Context
+from .memory import Buffer, COPY_HOST_PTR, READ_ONLY, READ_WRITE, WRITE_ONLY
+from .platform import Device, Platform, get_platforms
+from .program import Kernel, Program
+from .queue import CommandQueue, Event
+
+# Device-type constants, CL style.
+CL_DEVICE_TYPE_CPU = "CPU"
+CL_DEVICE_TYPE_GPU = "GPU"
+CL_DEVICE_TYPE_ALL = "ALL"
+
+CL_MEM_READ_WRITE = READ_WRITE
+CL_MEM_READ_ONLY = READ_ONLY
+CL_MEM_WRITE_ONLY = WRITE_ONLY
+CL_MEM_COPY_HOST_PTR = COPY_HOST_PTR
+
+
+def clGetPlatformIDs() -> list[Platform]:
+    """Query the installed vendor platforms."""
+    return get_platforms()
+
+
+def clGetDeviceIDs(
+    platform: Platform, device_type: str = CL_DEVICE_TYPE_ALL
+) -> list[Device]:
+    """Query *platform* for devices of *device_type*."""
+    return platform.get_devices(device_type)
+
+
+def clCreateContext(devices: Sequence[Device]) -> Context:
+    """Create a context holding *devices*."""
+    return Context(devices)
+
+
+def clCreateCommandQueue(context: Context, device: Device) -> CommandQueue:
+    """Create an in-order, profiling command queue on *device*."""
+    context.charge_api_call(device)
+    return CommandQueue(context, device)
+
+
+def clCreateBuffer(
+    context: Context,
+    flags: Sequence[str],
+    n_elements: int,
+    dtype: str = "float",
+    host_ptr: Optional[Sequence] = None,
+) -> Buffer:
+    """Allocate a device buffer of *n_elements* elements."""
+    context.charge_api_call()
+    return Buffer(context, n_elements, dtype, flags, host_data=host_ptr)
+
+
+def clCreateProgramWithSource(context: Context, source: str) -> Program:
+    context.charge_api_call()
+    return Program(context, source)
+
+
+def clBuildProgram(
+    program: Program, devices: Optional[list[Device]] = None
+) -> None:
+    program.context.charge_api_call()
+    program.build(devices)
+
+
+def clCreateKernel(program: Program, name: str) -> Kernel:
+    program.context.charge_api_call()
+    return program.create_kernel(name)
+
+
+def clSetKernelArg(kernel: Kernel, index: int, value) -> None:
+    kernel.program.context.charge_api_call()
+    kernel.set_arg(index, value)
+
+
+def clEnqueueWriteBuffer(
+    queue: CommandQueue,
+    buffer: Buffer,
+    blocking: bool,
+    host_data: Sequence,
+) -> Event:
+    queue.context.charge_api_call(queue.device)
+    return queue.enqueue_write_buffer(buffer, host_data)
+
+
+def clEnqueueReadBuffer(
+    queue: CommandQueue, buffer: Buffer, blocking: bool, host_out: list
+) -> Event:
+    queue.context.charge_api_call(queue.device)
+    return queue.enqueue_read_buffer(buffer, host_out)
+
+
+def clEnqueueNDRangeKernel(
+    queue: CommandQueue,
+    kernel: Kernel,
+    work_dim: int,
+    global_size: Sequence[int],
+    local_size: Optional[Sequence[int]] = None,
+) -> Event:
+    if work_dim != len(global_size):
+        raise CLInvalidValue(
+            f"work_dim {work_dim} != len(global_size) {len(global_size)}"
+        )
+    queue.context.charge_api_call(queue.device)
+    return queue.enqueue_nd_range_kernel(kernel, global_size, local_size)
+
+
+def clFinish(queue: CommandQueue) -> None:
+    queue.context.charge_api_call(queue.device)
+    queue.finish()
+
+
+def clGetEventProfilingInfo(event: Event, name: str) -> float:
+    return event.profiling_info(name)
+
+
+def clReleaseMemObject(buffer: Buffer) -> None:
+    buffer.context.charge_api_call()
+    buffer.release()
+
+
+def clReleaseKernel(kernel: Kernel) -> None:
+    kernel.program.context.charge_api_call()
+    kernel.release()
+
+
+def clReleaseProgram(program: Program) -> None:
+    program.context.charge_api_call()
+    program.release()
+
+
+def clReleaseCommandQueue(queue: CommandQueue) -> None:
+    queue.context.charge_api_call(queue.device)
+    queue.release()
+
+
+def clReleaseContext(context: Context) -> None:
+    context.release()

@@ -1,0 +1,94 @@
+"""Contexts and the simulation-wide clock.
+
+A context is the umbrella structure holding devices, buffers and
+queues (paper Section 2.1).  Every context charges costs to a
+:class:`~repro.opencl.costmodel.SimClock` (the global simulated
+timeline) and to its own :class:`~repro.opencl.costmodel.CostLedger`
+(the per-run category totals the harness turns into Figure 3 segments).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+import threading
+from typing import Iterator, Optional, Sequence
+
+from ..errors import CLInvalidValue
+from .costmodel import CostLedger, SimClock
+from .platform import Device, Platform
+
+_context_ids = itertools.count(1)
+
+_clock = SimClock()
+_clock_lock = threading.Lock()
+
+
+def current_clock() -> SimClock:
+    """The simulation clock new contexts attach to."""
+    return _clock
+
+
+@contextlib.contextmanager
+def fresh_clock() -> Iterator[SimClock]:
+    """Swap in a fresh clock for the duration of a measured run."""
+    global _clock
+    with _clock_lock:
+        saved = _clock
+        _clock = SimClock()
+        swapped = _clock
+    try:
+        yield swapped
+    finally:
+        with _clock_lock:
+            _clock = saved
+
+
+class Context:
+    """Holds devices plus the software state attached to them."""
+
+    def __init__(
+        self,
+        devices: Sequence[Device],
+        platform: Optional[Platform] = None,
+        clock: Optional[SimClock] = None,
+    ) -> None:
+        if not devices:
+            raise CLInvalidValue("a context needs at least one device")
+        self.id = next(_context_ids)
+        self.devices = list(devices)
+        self.platform = platform
+        self.clock = clock if clock is not None else current_clock()
+        self.ledger = CostLedger()
+        self.released = False
+        self._queues: list = []
+        self._buffers: list = []
+
+    def has_device(self, device: Device) -> bool:
+        return device in self.devices
+
+    def charge(self, category: str, ns: float) -> None:
+        """Record *ns* of *category* cost on clock and ledger."""
+        self.clock.advance(ns)
+        self.ledger.charge(category, ns)
+
+    def charge_api_call(self, device: Optional[Device] = None) -> None:
+        spec = (device or self.devices[0]).spec
+        with self.ledger._lock:
+            self.ledger.api_calls += 1
+        self.charge("host", spec.api_call_ns)
+
+    def reset_ledger(self) -> CostLedger:
+        """Install and return a fresh ledger (harness: between runs)."""
+        self.ledger = CostLedger()
+        return self.ledger
+
+    def release(self) -> None:
+        for buf in list(self._buffers):
+            if not buf.released:
+                buf.release()
+        self.released = True
+
+    def __repr__(self) -> str:
+        names = ", ".join(d.name for d in self.devices)
+        return f"<Context {self.id} [{names}]>"

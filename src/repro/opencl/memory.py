@@ -1,0 +1,87 @@
+"""Device memory objects.
+
+Buffers are typed (float / int / bool elements) rather than raw bytes —
+a deliberate simplification that keeps the simulated kernels directly
+executable — but all paper-relevant behaviour is preserved: buffers
+live on the device side of a modelled host link, moving data across it
+costs simulated time proportional to the byte size, and host code can
+only observe kernel writes after an explicit read-back.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Sequence
+
+from ..errors import CLInvalidValue, CLMemObjectReleased
+from .context import Context
+from .costmodel import ELEMENT_BYTES
+
+_buffer_ids = itertools.count(1)
+
+# Memory flags (subset of the OpenCL CL_MEM_* flags).
+READ_WRITE = "READ_WRITE"
+READ_ONLY = "READ_ONLY"
+WRITE_ONLY = "WRITE_ONLY"
+COPY_HOST_PTR = "COPY_HOST_PTR"
+
+_ZERO = {"float": 0.0, "int": 0, "bool": False}
+
+
+class Buffer:
+    """A device-resident 1-D array of scalars."""
+
+    def __init__(
+        self,
+        context: Context,
+        n_elements: int,
+        dtype: str = "float",
+        flags: Sequence[str] = (READ_WRITE,),
+        host_data: Optional[Sequence] = None,
+    ) -> None:
+        if dtype not in ELEMENT_BYTES:
+            raise CLInvalidValue(f"bad buffer dtype {dtype!r}")
+        if n_elements < 0:
+            raise CLInvalidValue("buffer size must be non-negative")
+        self.id = next(_buffer_ids)
+        self.context = context
+        self.dtype = dtype
+        self.n_elements = n_elements
+        self.flags = tuple(flags)
+        self.released = False
+        if COPY_HOST_PTR in self.flags:
+            if host_data is None:
+                raise CLInvalidValue("COPY_HOST_PTR without host data")
+            if len(host_data) != n_elements:
+                raise CLInvalidValue(
+                    f"host data length {len(host_data)} != {n_elements}"
+                )
+            self.data = list(host_data)
+        else:
+            self.data = [_ZERO[dtype]] * n_elements
+        context._buffers.append(self)
+
+    @property
+    def nbytes(self) -> int:
+        return self.n_elements * ELEMENT_BYTES[self.dtype]
+
+    def check_alive(self) -> None:
+        if self.released:
+            raise CLMemObjectReleased(f"buffer {self.id} was released")
+
+    def release(self) -> None:
+        """Return the device memory.  Double release is an error."""
+        self.check_alive()
+        self.released = True
+        self.data = []
+        try:
+            self.context._buffers.remove(self)
+        except ValueError:  # pragma: no cover - defensive
+            pass
+
+    def __len__(self) -> int:
+        return self.n_elements
+
+    def __repr__(self) -> str:
+        state = "released" if self.released else f"{self.n_elements}x{self.dtype}"
+        return f"<Buffer {self.id} {state}>"

@@ -1,0 +1,175 @@
+"""Platforms and devices of the simulated OpenCL installation.
+
+Mirrors the OpenCL discovery model (Section 2.1 of the paper): the host
+queries the runtime for vendor *platforms*, each exposing *devices*.
+The default installation registers one platform carrying a CPU device
+and a GPU device whose performance parameters approximate the paper's
+testbed (i5-3550 + R9 290x).  Tests and benchmarks may install scaled
+platforms via :func:`set_platforms`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Callable, Optional, Sequence
+
+from ..errors import CLBuildProgramFailure, CLInvalidDevice, CLInvalidValue
+from .. import kernelc, kir
+from .costmodel import CPU, GPU, DeviceSpec, cpu_spec, gpu_spec
+
+_device_ids = itertools.count(1)
+
+# Compiled programs are cached per (device-name, source) because the
+# runtime compiles kernels on every application start (paper Section 2.1)
+# and benchmark repetitions would otherwise pay Python-side compile time.
+_PROGRAM_CACHE: dict[tuple[str, str], kir.CompiledModule] = {}
+_CACHE_LOCK = threading.Lock()
+
+
+class Device:
+    """One simulated accelerator."""
+
+    def __init__(self, spec: DeviceSpec) -> None:
+        self.spec = spec
+        self.id = next(_device_ids)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def device_type(self) -> str:
+        return self.spec.device_type
+
+    def __repr__(self) -> str:
+        return f"<Device {self.id} {self.spec.device_type} {self.name!r}>"
+
+    # -- kernel compilation ---------------------------------------------
+
+    def compile_source(self, source: str) -> kir.CompiledModule:
+        """Runtime-compile kernel-C *source* for this device (cached)."""
+        key = (self.name, source)
+        with _CACHE_LOCK:
+            cached = _PROGRAM_CACHE.get(key)
+        if cached is not None:
+            return cached
+        try:
+            compiled = kernelc.build(source)
+        except Exception as exc:  # surface as a CL build failure
+            raise CLBuildProgramFailure(str(exc), build_log=str(exc)) from exc
+        with _CACHE_LOCK:
+            _PROGRAM_CACHE[key] = compiled
+        return compiled
+
+    # -- work-group sizing ------------------------------------------------
+
+    def choose_local_size(self, global_size: Sequence[int]) -> tuple[int, ...]:
+        """Pick a reasonable local size when the caller passes none.
+
+        Chooses the largest power-of-two divisor per dimension whose
+        product stays within the device's work-group limit — the same
+        heuristic OpenCL implementations apply for a NULL local size.
+        """
+        budget = self.spec.max_work_group_size
+        out: list[int] = []
+        for size in global_size:
+            pick = 1
+            while (
+                pick * 2 <= budget
+                and size % (pick * 2) == 0
+                and pick * 2 <= size
+            ):
+                pick *= 2
+            out.append(pick)
+            budget //= pick
+            if budget < 1:
+                budget = 1
+        return tuple(out)
+
+
+class Platform:
+    """A vendor driver exposing one or more devices."""
+
+    def __init__(self, name: str, vendor: str, devices: Sequence[Device]) -> None:
+        self.name = name
+        self.vendor = vendor
+        self.devices = list(devices)
+
+    def get_devices(self, device_type: Optional[str] = None) -> list[Device]:
+        if device_type is None or device_type == "ALL":
+            return list(self.devices)
+        found = [d for d in self.devices if d.device_type == device_type]
+        if not found:
+            raise CLInvalidDevice(f"no {device_type} device on {self.name!r}")
+        return found
+
+    def __repr__(self) -> str:
+        return f"<Platform {self.name!r} devices={len(self.devices)}>"
+
+
+def _default_platforms() -> list[Platform]:
+    return [
+        Platform(
+            "Repro OpenCL",
+            "Repro Computing",
+            [
+                Device(cpu_spec(name="Repro Core i5-3550 Sim")),
+                Device(gpu_spec(name="Repro Radeon R9 290x Sim")),
+            ],
+        )
+    ]
+
+
+_platforms: list[Platform] | None = None
+_platforms_lock = threading.Lock()
+
+
+def get_platforms() -> list[Platform]:
+    """Discover the installed platforms (lazily builds the default)."""
+    global _platforms
+    with _platforms_lock:
+        if _platforms is None:
+            _platforms = _default_platforms()
+        return list(_platforms)
+
+
+def set_platforms(platforms: Sequence[Platform]) -> None:
+    """Replace the installed platform list (benchmarks install scaled
+    devices; tests install fakes)."""
+    global _platforms
+    if not platforms:
+        raise CLInvalidValue("platform list cannot be empty")
+    with _platforms_lock:
+        _platforms = list(platforms)
+
+
+def reset_platforms() -> None:
+    """Restore the default installation."""
+    global _platforms
+    with _platforms_lock:
+        _platforms = None
+
+
+def scaled_platform(scale: float, name: str = "Repro OpenCL (scaled)") -> Platform:
+    """A platform whose devices are shrunk by *scale* for small-size
+    benchmark runs (see DESIGN.md, cost-model section)."""
+    return Platform(
+        name,
+        "Repro Computing",
+        [
+            Device(cpu_spec(scale, name=f"CPU sim x{scale}")),
+            Device(gpu_spec(scale, name=f"GPU sim x{scale}")),
+        ],
+    )
+
+
+def find_device(
+    device_type: str, platforms: Optional[Sequence[Platform]] = None
+) -> Device:
+    """First device of *device_type* across *platforms* (default: installed)."""
+    for platform in platforms or get_platforms():
+        for device in platform.devices:
+            if device.device_type == device_type:
+                return device
+    raise CLInvalidDevice(f"no {device_type} device installed")

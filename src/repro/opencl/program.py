@@ -1,0 +1,182 @@
+"""Programs: runtime compilation of kernel-C source.
+
+A program is created from source text, built (compiled) per device at
+runtime, and then mined for kernel objects — the same lifecycle as
+``clCreateProgramWithSource`` / ``clBuildProgram`` / ``clCreateKernel``.
+Build failures carry a build log, which the Ensemble language improves
+upon by reporting kernel errors at compile time instead (Section 6.1.1);
+here the baseline path keeps the delayed-error behaviour.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from ..errors import CLBuildProgramFailure, CLInvalidValue
+from .. import kir
+from .context import Context
+from .platform import Device
+
+_program_ids = itertools.count(1)
+
+
+class Program:
+    def __init__(self, context: Context, source: str) -> None:
+        if not source.strip():
+            raise CLInvalidValue("empty program source")
+        self.id = next(_program_ids)
+        self.context = context
+        self.source = source
+        self.build_log = ""
+        self._built: dict[int, kir.CompiledModule] = {}
+
+    @property
+    def is_built(self) -> bool:
+        return bool(self._built)
+
+    def build(self, devices: Optional[list[Device]] = None) -> "Program":
+        """Compile the source for *devices* (default: every context device).
+
+        Charges each device's one-off compile cost to the ledger and
+        raises :class:`CLBuildProgramFailure` with a build log on error.
+        """
+        targets = devices if devices is not None else self.context.devices
+        for device in targets:
+            if not self.context.has_device(device):
+                raise CLInvalidValue(
+                    f"device {device.name!r} is not in the context"
+                )
+            if device.id in self._built:
+                continue
+            try:
+                compiled = device.compile_source(self.source)
+            except CLBuildProgramFailure as exc:
+                self.build_log = exc.build_log
+                raise
+            self.context.charge("host", device.spec.compile_ns)
+            self._built[device.id] = compiled
+            self.build_log = "build succeeded"
+        return self
+
+    def compiled_for(self, device: Device) -> kir.CompiledModule:
+        try:
+            return self._built[device.id]
+        except KeyError:
+            raise CLInvalidValue(
+                f"program {self.id} not built for device {device.name!r}"
+            ) from None
+
+    def create_kernel(self, name: str) -> "Kernel":
+        if not self._built:
+            raise CLInvalidValue("program must be built before kernel creation")
+        module = next(iter(self._built.values())).module
+        fn = module.functions.get(name)
+        if fn is None or not fn.is_kernel:
+            raise CLInvalidValue(f"no kernel {name!r} in program")
+        return Kernel(self, fn)
+
+    def kernel_names(self) -> list[str]:
+        if not self._built:
+            raise CLInvalidValue("program is not built")
+        module = next(iter(self._built.values())).module
+        return [f.name for f in module.kernels()]
+
+    def release(self) -> None:
+        self._built.clear()
+
+
+class Kernel:
+    """An argument-holding kernel object, mirroring ``cl_kernel``."""
+
+    def __init__(self, program: Program, fn: kir.Function) -> None:
+        self.program = program
+        self.fn = fn
+        self.name = fn.name
+        self._args: list = [_UNSET] * len(fn.params)
+
+    @property
+    def num_args(self) -> int:
+        return len(self.fn.params)
+
+    def set_arg(self, index: int, value) -> None:
+        """Bind argument *index*; buffers for array params, scalars else."""
+        from .memory import Buffer  # local import to avoid a cycle
+
+        if not 0 <= index < len(self.fn.params):
+            raise CLInvalidValue(
+                f"kernel {self.name}: argument index {index} out of range"
+            )
+        param = self.fn.params[index]
+        if isinstance(param.type, kir.ArrayType):
+            if not isinstance(value, Buffer):
+                raise CLInvalidValue(
+                    f"kernel {self.name}: argument {param.name!r} needs a Buffer"
+                )
+            if value.dtype != param.type.element.kind:
+                raise CLInvalidValue(
+                    f"kernel {self.name}: buffer dtype {value.dtype} != "
+                    f"param element {param.type.element.kind}"
+                )
+        else:
+            if isinstance(value, Buffer):
+                raise CLInvalidValue(
+                    f"kernel {self.name}: argument {param.name!r} is a scalar"
+                )
+            want = param.type.kind
+            ok = (
+                (want == "int" and isinstance(value, int)
+                 and not isinstance(value, bool))
+                or (want == "float" and isinstance(value, (int, float))
+                    and not isinstance(value, bool))
+                or (want == "bool" and isinstance(value, bool))
+            )
+            if not ok:
+                raise CLInvalidValue(
+                    f"kernel {self.name}: argument {param.name!r} expects "
+                    f"{want}, got {type(value).__name__}"
+                )
+            if want == "float":
+                value = float(value)
+        self._args[index] = value
+
+    def bound_args(self, context: Context) -> list:
+        """Materialise the argument list for dispatch (device storage for
+        buffers, raw scalars otherwise)."""
+        from ..errors import CLInvalidKernelArgs
+        from .memory import Buffer
+
+        out = []
+        for i, (param, value) in enumerate(zip(self.fn.params, self._args)):
+            if value is _UNSET:
+                raise CLInvalidKernelArgs(
+                    f"kernel {self.name}: argument {i} ({param.name}) not set"
+                )
+            if isinstance(value, Buffer):
+                value.check_alive()
+                if value.context is not context:
+                    raise CLInvalidKernelArgs(
+                        f"kernel {self.name}: buffer for {param.name!r} "
+                        "belongs to a different context"
+                    )
+                out.append(value.data)
+            else:
+                out.append(value)
+        return out
+
+    def runner(self, device: Device) -> kir.KernelRunner:
+        return self.program.compiled_for(device).kernel_runner(self.name)
+
+    def release(self) -> None:
+        self._args = [_UNSET] * len(self.fn.params)
+
+    def __repr__(self) -> str:
+        return f"<Kernel {self.name} args={self.num_args}>"
+
+
+class _Unset:
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<unset>"
+
+
+_UNSET = _Unset()

@@ -1,0 +1,192 @@
+"""Command queues and profiling events.
+
+In-order queues only: the runtime layer above enforces a single
+command queue per device (paper Section 6.2.1 — multiple queues per
+device showed read races on the authors' stack, and the same policy is
+reproduced here).  Commands execute synchronously but are priced on the
+simulated timeline; each returns an :class:`Event` carrying OpenCL-style
+profiling timestamps, which the harness aggregates into the Figure 3
+to-device / from-device / kernel / overhead segments.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Sequence
+
+from ..errors import (
+    CLInvalidContext,
+    CLInvalidKernelArgs,
+    CLInvalidValue,
+    CLInvalidWorkGroupSize,
+)
+from .context import Context
+from .memory import Buffer
+from .platform import Device
+
+_event_ids = itertools.count(1)
+
+# Command types (CL_COMMAND_*-style).
+WRITE_BUFFER = "WRITE_BUFFER"
+READ_BUFFER = "READ_BUFFER"
+COPY_BUFFER = "COPY_BUFFER"
+NDRANGE_KERNEL = "NDRANGE_KERNEL"
+
+
+class Event:
+    """Profiling record of one enqueued command."""
+
+    def __init__(
+        self, command: str, category: str, queued_ns: float, duration_ns: float
+    ) -> None:
+        self.id = next(_event_ids)
+        self.command = command
+        self.category = category  # 'h2d' | 'd2h' | 'kernel'
+        self.queued_ns = queued_ns
+        self.submit_ns = queued_ns
+        self.start_ns = queued_ns
+        self.end_ns = queued_ns + duration_ns
+
+    @property
+    def duration_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+    def profiling_info(self, name: str) -> float:
+        """CL_PROFILING_COMMAND_{QUEUED,SUBMIT,START,END} lookup."""
+        try:
+            return {
+                "QUEUED": self.queued_ns,
+                "SUBMIT": self.submit_ns,
+                "START": self.start_ns,
+                "END": self.end_ns,
+            }[name]
+        except KeyError:
+            raise CLInvalidValue(f"bad profiling info {name!r}") from None
+
+    def __repr__(self) -> str:
+        return f"<Event {self.id} {self.command} {self.duration_ns:.0f}ns>"
+
+
+class CommandQueue:
+    """An in-order command queue bound to one device of a context."""
+
+    def __init__(self, context: Context, device: Device) -> None:
+        if not context.has_device(device):
+            raise CLInvalidContext(
+                f"device {device.name!r} is not part of the context"
+            )
+        self.context = context
+        self.device = device
+        self.events: list[Event] = []
+        self.released = False
+        context._queues.append(self)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _record(self, command: str, category: str, ns: float) -> Event:
+        event = Event(command, category, self.context.clock.now_ns, ns)
+        self.context.charge(category, ns)
+        self.events.append(event)
+        return event
+
+    def _check_buffer(self, buf: Buffer) -> None:
+        buf.check_alive()
+        if buf.context is not self.context:
+            raise CLInvalidContext(
+                f"buffer {buf.id} belongs to a different context"
+            )
+
+    # -- data movement ------------------------------------------------------
+
+    def enqueue_write_buffer(self, buf: Buffer, host_data: Sequence) -> Event:
+        """Copy *host_data* into the device buffer (host -> device)."""
+        self._check_buffer(buf)
+        if len(host_data) != buf.n_elements:
+            raise CLInvalidValue(
+                f"write of {len(host_data)} elements into buffer "
+                f"of {buf.n_elements}"
+            )
+        buf.data[:] = host_data
+        ns = self.device.spec.transfer_ns(buf.nbytes, to_device=True)
+        with self.context.ledger._lock:
+            self.context.ledger.bytes_to_device += buf.nbytes
+        return self._record(WRITE_BUFFER, "h2d", ns)
+
+    def enqueue_read_buffer(self, buf: Buffer, host_out: list) -> Event:
+        """Copy the device buffer back into *host_out* (device -> host)."""
+        self._check_buffer(buf)
+        if len(host_out) != buf.n_elements:
+            raise CLInvalidValue(
+                f"read of buffer of {buf.n_elements} elements into host "
+                f"array of {len(host_out)}"
+            )
+        host_out[:] = buf.data
+        ns = self.device.spec.transfer_ns(buf.nbytes, to_device=False)
+        with self.context.ledger._lock:
+            self.context.ledger.bytes_from_device += buf.nbytes
+        return self._record(READ_BUFFER, "d2h", ns)
+
+    def enqueue_copy_buffer(self, src: Buffer, dst: Buffer) -> Event:
+        """Device-to-device copy inside the context (no host link cost;
+        charged at kernel-engine speed)."""
+        self._check_buffer(src)
+        self._check_buffer(dst)
+        if src.n_elements != dst.n_elements or src.dtype != dst.dtype:
+            raise CLInvalidValue("copy between mismatched buffers")
+        dst.data[:] = src.data
+        ns = src.n_elements / (self.device.spec.lanes * self.device.spec.ops_per_ns)
+        return self._record(COPY_BUFFER, "kernel", ns)
+
+    # -- kernel dispatch ---------------------------------------------------
+
+    def enqueue_nd_range_kernel(
+        self,
+        kernel,
+        global_size: Sequence[int],
+        local_size: Optional[Sequence[int]] = None,
+    ) -> Event:
+        """Launch *kernel* over the NDRange and price the dispatch."""
+        gsz = tuple(int(s) for s in global_size)
+        if not 1 <= len(gsz) <= 3 or any(s <= 0 for s in gsz):
+            raise CLInvalidValue(f"bad global size {gsz}")
+        if local_size is None:
+            lsz = self.device.choose_local_size(gsz)
+        else:
+            lsz = tuple(int(s) for s in local_size)
+        if len(lsz) != len(gsz):
+            raise CLInvalidWorkGroupSize(
+                f"local size {lsz} rank != global size {gsz} rank"
+            )
+        if any(l <= 0 or g % l != 0 for g, l in zip(gsz, lsz)):
+            raise CLInvalidWorkGroupSize(
+                f"local size {lsz} does not divide global size {gsz}"
+            )
+        wg = 1
+        for l in lsz:
+            wg *= l
+        if wg > self.device.spec.max_work_group_size:
+            raise CLInvalidWorkGroupSize(
+                f"work-group of {wg} exceeds device limit "
+                f"{self.device.spec.max_work_group_size}"
+            )
+        args = kernel.bound_args(self.context)
+        item_ops = kernel.runner(self.device).run_range(args, gsz, lsz)
+        ns = self.device.spec.kernel_ns(item_ops, gsz, lsz)
+        with self.context.ledger._lock:
+            self.context.ledger.kernel_launches += 1
+        return self._record(NDRANGE_KERNEL, "kernel", ns)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def finish(self) -> None:
+        """Block until queued commands complete (immediate in simulation)."""
+
+    def flush(self) -> None:
+        """Submit queued commands (immediate in simulation)."""
+
+    def release(self) -> None:
+        self.released = True
+        try:
+            self.context._queues.remove(self)
+        except ValueError:  # pragma: no cover - defensive
+            pass

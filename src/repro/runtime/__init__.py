@@ -1,0 +1,13 @@
+"""The Ensemble runtime: VM, actors-on-threads, channels, movability,
+device residency and the OpenCL device matrix."""
+
+from .mov import Movable, copy_message, is_movable, mov  # noqa: F401
+from .oclenv import (  # noqa: F401
+    DeviceMatrix,
+    OpenCLEnvironment,
+    device_matrix,
+    get_environment,
+    reset_device_matrix,
+)
+from .residency import ManagedArray  # noqa: F401
+from .values import ArrayView, StructValue  # noqa: F401

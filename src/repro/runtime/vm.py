@@ -1,0 +1,556 @@
+"""The Ensemble virtual machine.
+
+Executes :class:`~repro.ensemble.bytecode.CompiledProgram` objects: one
+thread per actor interpreting that actor's behaviour bytecode in a loop
+(paper Section 5), channels mapped onto the runtime's typed ports, and
+``invokenative``-style operations for printing, math, and the OpenCL
+wrappers (Section 6.2.2).
+
+Every executed bytecode charges ``BYTECODE_NS`` of simulated host time —
+this is the paper's interpreter overhead, visible as the larger
+"overhead" segment of the Ensemble bars in Figure 3.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import threading
+from typing import Any, Optional
+
+from ..errors import ChannelClosed, RuntimeFault, VMError
+from ..ensemble.bytecode import (
+    Code,
+    CompiledActor,
+    CompiledProgram,
+    KernelPlan,
+)
+from ..kir.interp import c_idiv, c_imod
+from ..opencl import CostLedger
+from ..opencl.context import current_clock
+from ..opencl.program import Program
+from ..actors.actor import Actor, Stage, StopBehaviour
+from ..actors.channel import InPort, OutPort, connect
+from .oclenv import get_environment
+from .mov import Movable, is_movable, mov
+from .residency import ManagedArray
+from .values import StructValue, index_value, length_of, store_value
+
+#: Simulated cost of interpreting one bytecode.  Calibrated (see
+#: EXPERIMENTS.md) so the VM-interpretation overhead fraction at the
+#: benchmark sizes matches the proportions the paper reports at full
+#: size; the paper's modified-JVM interpreter ran simple quickened
+#: bytecodes considerably faster than a naive switch interpreter.
+BYTECODE_NS = 4.0
+
+_MATH_NATIVES = {
+    "sqrt": math.sqrt,
+    "fabs": abs,
+    "exp": math.exp,
+    "log": math.log,
+    "sin": math.sin,
+    "cos": math.cos,
+    "pow": math.pow,
+    "floor": lambda x: float(math.floor(x)),
+    "ceil": lambda x: float(math.ceil(x)),
+    "fmin": min,
+    "fmax": max,
+    "atan2": math.atan2,
+}
+
+
+class VMActor(Actor):
+    """An actor whose behaviour interprets Ensemble bytecode."""
+
+    def __init__(self, vm: "EnsembleVM", compiled: CompiledActor, args: list):
+        super().__init__()
+        self.vm = vm
+        self.compiled = compiled
+        self.name = f"{compiled.name}-{self.actor_id}"
+        self.state: dict[str, Any] = {}
+        self.channels: dict[str, Any] = {}
+        for cname, direction, _movable, buffer in compiled.channel_specs:
+            if direction == "in":
+                self.channels[cname] = InPort(buffer=buffer,
+                                              name=f"{self.name}.{cname}",
+                                              owner=self)
+            else:
+                self.channels[cname] = OutPort(name=f"{self.name}.{cname}",
+                                               owner=self)
+        self._program_cache: Optional[Program] = None
+        vm.execute(self.compiled.state_init, [], actor=self)
+        ctor = self.compiled.constructor
+        frame = [None] * max(ctor.nlocals, len(args))
+        for slot, value in zip(ctor.param_slots, args):
+            frame[slot] = value
+        vm.execute(ctor, frame, actor=self)
+
+    def behaviour(self) -> None:
+        code = self.compiled.behaviour
+        if not code.instrs:
+            raise StopBehaviour()
+        self.vm.execute(code, [None] * code.nlocals, actor=self)
+
+    def _close_ports(self) -> None:
+        super()._close_ports()
+        for port in self.channels.values():
+            port.close()
+
+    def port(self, name: str):
+        try:
+            return self.channels[name]
+        except KeyError:
+            raise VMError(
+                f"{self.compiled.name} has no channel {name!r}"
+            ) from None
+
+
+class _Return(Exception):
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+
+class EnsembleVM:
+    """Executes one compiled program on a stage."""
+
+    def __init__(self, program: CompiledProgram, echo: bool = False) -> None:
+        self.program = program
+        self.stage = Stage(program.stage_name)
+        self.ledger = CostLedger()
+        self.clock = current_clock()
+        self.echo = echo
+        self.output: list[str] = []
+        self.rng = random.Random(0xEA5EB1E)
+        self._out_lock = threading.Lock()
+        self._booted = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def boot(self) -> None:
+        """Run the boot block (creates and wires the actors)."""
+        if self._booted:
+            raise VMError("program already booted")
+        self._booted = True
+        code = self.program.boot
+        self.execute(code, [None] * code.nlocals, actor=None)
+
+    def run(self, timeout: float = 120.0) -> None:
+        """boot + start every actor thread + wait for completion."""
+        if not self._booted:
+            self.boot()
+        self.stage.run(timeout)
+
+    # -- cost accounting ---------------------------------------------------
+
+    def charge(self, instructions: int) -> None:
+        ns = instructions * BYTECODE_NS
+        self.clock.advance(ns)
+        self.ledger.charge("host", ns)
+
+    # -- the interpreter -----------------------------------------------------
+
+    def execute(
+        self, code: Code, frame: list, actor: Optional[VMActor]
+    ) -> Any:
+        try:
+            return self._execute(code, frame, actor)
+        except _Return as ret:
+            return ret.value
+
+    def _execute(
+        self, code: Code, frame: list, actor: Optional[VMActor]
+    ) -> Any:
+        instrs = code.instrs
+        stack: list = []
+        pc = 0
+        executed = 0
+        n = len(instrs)
+        try:
+            while pc < n:
+                op, arg = instrs[pc]
+                pc += 1
+                executed += 1
+                if op == "CONST":
+                    stack.append(arg)
+                elif op == "LOADL":
+                    stack.append(frame[arg])
+                elif op == "STOREL":
+                    frame[arg] = stack.pop()
+                elif op == "LOADSTATE":
+                    assert actor is not None
+                    stack.append(actor.state[arg])
+                elif op == "STORESTATE":
+                    assert actor is not None
+                    actor.state[arg] = stack.pop()
+                elif op == "LOADCHAN":
+                    assert actor is not None
+                    stack.append(actor.port(arg))
+                elif op == "GETFIELD":
+                    obj = stack.pop()
+                    stack.append(self._get_field(obj, arg))
+                elif op == "SETFIELD":
+                    obj = stack.pop()
+                    value = stack.pop()
+                    if not isinstance(obj, StructValue):
+                        raise VMError(
+                            f"field assignment into {type(obj).__name__}"
+                        )
+                    obj.set(arg, value)
+                elif op == "GETINDEX":
+                    idx = stack.pop()
+                    obj = stack.pop()
+                    stack.append(index_value(obj, idx))
+                elif op == "SETINDEX":
+                    idx = stack.pop()
+                    obj = stack.pop()
+                    value = stack.pop()
+                    store_value(obj, idx, value)
+                elif op == "BINOP":
+                    right = stack.pop()
+                    left = stack.pop()
+                    stack.append(_binop(arg, left, right))
+                elif op == "UNOP":
+                    value = stack.pop()
+                    stack.append(-value if arg == "-" else (not value))
+                elif op == "JUMP":
+                    pc = arg
+                elif op == "JUMPF":
+                    if not stack.pop():
+                        pc = arg
+                elif op == "NEWARRAY":
+                    ndims, dtype = arg
+                    fill = stack.pop()
+                    dims = [stack.pop() for _ in range(ndims)]
+                    dims.reverse()
+                    size = 1
+                    for d in dims:
+                        size *= d
+                    stack.append(
+                        ManagedArray([fill] * size, tuple(dims), dtype)
+                    )
+                elif op == "NEWSTRUCT":
+                    name, argc = arg
+                    values = [stack.pop() for _ in range(argc)]
+                    values.reverse()
+                    stack.append(self._new_struct(name, values))
+                elif op == "NEWCHAN":
+                    direction, _movable = arg
+                    if direction == "in":
+                        stack.append(InPort())
+                    else:
+                        stack.append(OutPort())
+                elif op == "NEWACTOR":
+                    name, argc = arg
+                    values = [stack.pop() for _ in range(argc)]
+                    values.reverse()
+                    stack.append(self._new_actor(name, values))
+                elif op == "SEND":
+                    chan = stack.pop()
+                    value = stack.pop()
+                    if not isinstance(chan, OutPort):
+                        raise VMError("send on a non-out channel value")
+                    chan.send(mov(value) if arg else value)
+                elif op == "RECEIVE":
+                    chan = stack.pop()
+                    if not isinstance(chan, InPort):
+                        raise VMError("receive on a non-in channel value")
+                    item = chan.receive()
+                    stack.append(item.value if is_movable(item) else item)
+                elif op == "CONNECT":
+                    target = stack.pop()
+                    source = stack.pop()
+                    connect(source, target)
+                elif op == "CALL":
+                    name, argc = arg
+                    values = [stack.pop() for _ in range(argc)]
+                    values.reverse()
+                    stack.append(self._call_function(name, values, actor))
+                elif op == "NATIVE":
+                    name, argc = arg
+                    values = [stack.pop() for _ in range(argc)]
+                    values.reverse()
+                    stack.append(self._native(name, values))
+                elif op == "DISPATCH":
+                    assert actor is not None
+                    plan = actor.compiled.kernel_plan
+                    assert plan is not None
+                    try:
+                        self._dispatch_kernel(actor, plan, frame)
+                    except Exception:
+                        # A failed dispatch must not leave the receiver
+                        # of the reply channel blocked forever.
+                        request = frame[plan.req_slot]
+                        if isinstance(request, StructValue):
+                            out_port = request.fields.get(plan.out_field)
+                            if isinstance(out_port, OutPort):
+                                out_port.close()
+                        raise
+                elif op == "POP":
+                    stack.pop()
+                elif op == "STOP":
+                    raise StopBehaviour()
+                elif op == "RET":
+                    raise _Return(stack.pop())
+                else:
+                    raise VMError(f"unknown opcode {op!r}")
+        finally:
+            self.charge(executed)
+        return None
+
+    # -- operations ----------------------------------------------------------
+
+    @staticmethod
+    def _get_field(obj: Any, name: str) -> Any:
+        if isinstance(obj, StructValue):
+            return obj.get(name)
+        if isinstance(obj, VMActor):
+            return obj.port(name)
+        raise VMError(f"field access on {type(obj).__name__}")
+
+    def _new_struct(self, name: str, values: list) -> StructValue:
+        fields: dict[str, Any] = {}
+        # field order comes from the compiled program's source table via
+        # struct construction order — positional, as in `new settings_t(..)`
+        names = self._struct_field_names(name)
+        if len(values) != len(names):
+            raise VMError(
+                f"struct {name} expects {len(names)} fields, "
+                f"got {len(values)}"
+            )
+        for fname, value in zip(names, values):
+            fields[fname] = value
+        return StructValue(name, fields)
+
+    def _struct_field_names(self, name: str) -> list[str]:
+        names = self.program.struct_fields.get(name)
+        if names is None:
+            raise VMError(f"unknown struct {name!r}")
+        return names
+
+    def _new_actor(self, name: str, args: list) -> VMActor:
+        compiled = self.program.actors.get(name)
+        if compiled is None:
+            raise VMError(f"unknown actor {name!r}")
+        actor = VMActor(self, compiled, args)
+        self.stage.spawn(actor)
+        return actor
+
+    def _call_function(
+        self, name: str, args: list, actor: Optional[VMActor]
+    ) -> Any:
+        fn = self.program.functions.get(name)
+        if fn is None:
+            raise VMError(f"unknown function {name!r}")
+        frame = [None] * fn.code.nlocals
+        for slot, value in zip(fn.code.param_slots, args):
+            frame[slot] = value
+        return self.execute(fn.code, frame, actor)
+
+    def _native(self, name: str, args: list) -> Any:
+        if name == "printString":
+            return self._print(args[0])
+        if name == "printInt":
+            return self._print(str(int(args[0])))
+        if name == "printReal":
+            return self._print(repr(float(args[0])))
+        if name == "printBool":
+            return self._print("true" if args[0] else "false")
+        if name == "intToReal":
+            return float(args[0])
+        if name == "realToInt":
+            return int(args[0])
+        if name == "length":
+            return length_of(args[0])
+        if name == "fillPattern1D":
+            arr, mul, inc, mod, off, divisor = args
+            flat = arr.host()
+            is_real = arr.dtype == "float"
+            for i in range(len(flat)):
+                value = (i * mul + inc) % mod + off
+                flat[i] = float(value) / divisor if is_real else value
+            self._charge_fill(len(flat))
+            return None
+        if name == "fillPattern2D":
+            arr, rm, cm, inc, mod, off, divisor = args
+            rows, cols = arr.shape
+            flat = arr.host()
+            is_real = arr.dtype == "float"
+            for i in range(rows):
+                base = i * cols
+                for j in range(cols):
+                    value = (i * rm + j * cm + inc) % mod + off
+                    flat[base + j] = (
+                        float(value) / divisor if is_real else value
+                    )
+            self._charge_fill(len(flat))
+            return None
+        if name == "fillPatternCond2D":
+            arr, rm, cm, mod, rm2, cm2, mod2, off2 = args
+            rows, cols = arr.shape
+            flat = arr.host()
+            for i in range(rows):
+                base = i * cols
+                for j in range(cols):
+                    if (i * rm + j * cm) % mod == 0:
+                        flat[base + j] = (i * rm2 + j * cm2) % mod2 + off2
+                    else:
+                        flat[base + j] = 0
+            self._charge_fill(len(flat))
+            return None
+        if name == "minElement":
+            array = args[0]
+            if not isinstance(array, ManagedArray):
+                raise VMError("minElement expects an array")
+            flat = array.host()
+            self._charge_fill(len(flat))
+            return min(flat)
+        if name == "checksumWeighted":
+            # Verification apparatus (not part of the paper's apps): a
+            # runtime native, priced at sequential host speed.
+            array = args[0]
+            if not isinstance(array, ManagedArray):
+                raise VMError("checksumWeighted expects an array")
+            flat = array.host()
+            total = 0.0
+            for i, value in enumerate(flat):
+                total += (i % 97 + 1) * value
+            self._charge_fill(len(flat))
+            if array.dtype == "int":
+                return int(total)
+            return total
+        if name == "random":
+            return self.rng.random()
+        if name == "randomInt":
+            return self.rng.randrange(max(1, args[0]))
+        if name == "clockMillis":
+            return int(self.clock.now_ns // 1_000_000)
+        fn = _MATH_NATIVES.get(name)
+        if fn is None:
+            raise VMError(f"unknown native {name!r}")
+        return fn(*args)
+
+    def _charge_fill(self, elements: int) -> None:
+        """Bulk data natives run at optimised-C host speed (the same
+        rate the interpreted single-threaded/OpenACC hosts are priced
+        at: ~6 simple ops per element at 10 ops/ns)."""
+        ns = 0.6 * elements
+        self.clock.advance(ns)
+        self.ledger.charge("host", ns)
+
+    def _print(self, text: str) -> None:
+        with self._out_lock:
+            self.output.append(text)
+        if self.echo:
+            print(text, end="")
+
+    # -- OpenCL dispatch (the invokenative wrappers) ---------------------
+
+    def _dispatch_kernel(
+        self, actor: VMActor, plan: KernelPlan, frame: list
+    ) -> None:
+        request = frame[plan.req_slot]
+        data = frame[plan.data_slot]
+        if not isinstance(request, StructValue):
+            raise VMError("kernel request is not a struct")
+        env = get_environment(
+            plan.device_type, plan.device_index, plan.platform_index
+        )
+        if actor._program_cache is None:
+            program = Program(env.context, plan.kernel_source)
+            program.build([env.device])
+            actor._program_cache = program
+        program = actor._program_cache
+        kernel = program.create_kernel(plan.kernel_name)
+        queue = env.queue
+        spec_ns = env.device.spec.api_call_ns
+
+        arrays: dict[str, ManagedArray] = {}
+        scalar_carriers: list[tuple[str, ManagedArray]] = []
+        for index, pspec in enumerate(plan.params):
+            if pspec.kind in ("array_field", "array_self"):
+                value = (
+                    data.get(pspec.fname)
+                    if pspec.kind == "array_field"
+                    else data
+                )
+                if not isinstance(value, ManagedArray):
+                    raise VMError(
+                        f"kernel argument {pspec.fname!r} is not an array"
+                    )
+                arrays[pspec.name] = value
+                copy_in = pspec.name in plan.read_params
+                kernel.set_arg(index, value.to_device(queue, copy=copy_in))
+            elif pspec.kind in ("dim_field", "dim_self"):
+                source = (
+                    data.get(pspec.fname)
+                    if pspec.kind == "dim_field"
+                    else data
+                )
+                kernel.set_arg(index, source.shape[pspec.axis])
+            elif pspec.kind == "scalar_field":
+                value = data.get(pspec.fname)
+                carrier = ManagedArray([value], (1,), pspec.dtype)
+                scalar_carriers.append((pspec.name, pspec.fname, carrier))
+                kernel.set_arg(index, carrier.to_device(queue))
+            else:  # pragma: no cover - plan construction guards this
+                raise VMError(f"bad param spec kind {pspec.kind!r}")
+
+        worksize = self._int_list(request.get(plan.worksize_field))
+        groupsize = self._int_list(request.get(plan.groupsize_field))
+        if not groupsize or all(g == 0 for g in groupsize):
+            groupsize = None
+        # Host-side wrapper overhead for the automated setup calls.
+        env.context.charge("host", spec_ns * (1 + len(plan.params)))
+        queue.enqueue_nd_range_kernel(kernel, worksize, groupsize)
+
+        for pname in plan.written_params:
+            array = arrays.get(pname)
+            if array is not None:
+                array.mark_device_written()
+        # Primitives are always read back (they are 1-element arrays).
+        for pname, fname, carrier in scalar_carriers:
+            if pname in plan.written_params:
+                carrier.mark_device_written()
+            data.set(fname, carrier[0])
+        if not plan.in_movable:
+            # Without mov the compiler generates the read-back code.
+            for array in arrays.values():
+                array.sync_host()
+
+    @staticmethod
+    def _int_list(value: Any) -> list[int]:
+        if isinstance(value, ManagedArray):
+            return [int(v) for v in value.host()]
+        raise VMError("worksize/groupsize must be integer arrays")
+
+
+def _binop(op: str, left: Any, right: Any) -> Any:
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if isinstance(left, int) and isinstance(right, int):
+            return c_idiv(left, right)
+        return left / right
+    if op == "%":
+        return c_imod(left, right)
+    if op == "==":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    if op == "and":
+        return bool(left) and bool(right)
+    if op == "or":
+        return bool(left) or bool(right)
+    raise VMError(f"unknown operator {op!r}")

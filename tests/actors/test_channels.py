@@ -1,0 +1,188 @@
+"""Channel semantics: rendezvous, buffering, topologies, typing,
+shared-nothing copying and movability."""
+
+import threading
+import time
+
+import pytest
+
+from repro.actors import InPort, OutPort, channel, connect, mov
+from repro.errors import ChannelClosed, ChannelError, MovedValueError
+from repro.runtime import ManagedArray
+from repro.runtime.mov import Movable
+
+
+class TestWiring:
+    def test_channel_pair(self):
+        out_port, in_port = channel(buffer=1)
+        out_port.send(42)
+        assert in_port.receive() == 42
+
+    def test_send_unconnected_rejected(self):
+        with pytest.raises(ChannelError, match="unconnected"):
+            OutPort().send(1)
+
+    def test_connect_type_mismatch_rejected(self):
+        out_port = OutPort(int)
+        in_port = InPort(float)
+        with pytest.raises(ChannelError, match="type"):
+            connect(out_port, in_port)
+
+    def test_connect_wrong_kinds_rejected(self):
+        with pytest.raises(ChannelError):
+            connect(InPort(), InPort())  # type: ignore[arg-type]
+
+    def test_typed_send_checked(self):
+        out_port, in_port = channel(typ=int, buffer=1)
+        out_port.send(5)
+        with pytest.raises(ChannelError, match="type"):
+            out_port.send("nope")
+
+    def test_negative_buffer_rejected(self):
+        with pytest.raises(ChannelError):
+            InPort(buffer=-1)
+
+
+class TestBlockingSemantics:
+    def test_rendezvous_blocks_until_receive(self):
+        out_port, in_port = channel()
+        state = []
+
+        def sender():
+            out_port.send("payload")
+            state.append(time.monotonic())
+
+        thread = threading.Thread(target=sender, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        assert not state  # sender still blocked in rendezvous
+        assert in_port.receive() == "payload"
+        thread.join(2)
+        assert state
+
+    def test_buffered_send_does_not_block(self):
+        out_port, in_port = channel(buffer=2)
+        out_port.send(1)
+        out_port.send(2)  # fits in the buffer; no receiver yet
+        assert in_port.receive() == 1
+        assert in_port.receive() == 2
+
+    def test_full_buffer_reverts_to_blocking(self):
+        out_port, in_port = channel(buffer=1)
+        out_port.send(1)
+        with pytest.raises(ChannelError, match="timed out"):
+            out_port.send(2, timeout=0.05)
+
+    def test_receive_timeout(self):
+        out_port, in_port = channel(buffer=1)
+        with pytest.raises(ChannelError, match="timed out"):
+            in_port.receive(timeout=0.05)
+
+    def test_receive_on_never_connected_port_blocks(self):
+        port = InPort()
+        with pytest.raises(ChannelError, match="timed out"):
+            port.receive(timeout=0.05)
+
+    def test_receive_after_all_senders_closed(self):
+        out_port, in_port = channel(buffer=2)
+        out_port.send(1)
+        out_port.close()
+        assert in_port.receive() == 1  # drain the buffer first
+        with pytest.raises(ChannelClosed):
+            in_port.receive()
+
+    def test_messages_preserve_fifo_order(self):
+        out_port, in_port = channel(buffer=16)
+        for i in range(10):
+            out_port.send(i)
+        assert [in_port.receive() for _ in range(10)] == list(range(10))
+
+
+class TestTopologies:
+    def test_one_to_n_broadcast_copies(self):
+        out_port = OutPort()
+        sinks = [InPort(buffer=1), InPort(buffer=1)]
+        for sink in sinks:
+            connect(out_port, sink)
+        payload = [1, 2, 3]
+        out_port.send(payload)
+        got = [sink.receive() for sink in sinks]
+        assert got == [payload, payload]
+        assert got[0] is not payload and got[0] is not got[1]
+
+    def test_n_to_one_merge(self):
+        target = InPort(buffer=4)
+        senders = [OutPort(), OutPort()]
+        for sender in senders:
+            connect(sender, target)
+        senders[0].send("a")
+        senders[1].send("b")
+        assert {target.receive(), target.receive()} == {"a", "b"}
+
+    def test_movable_broadcast_rejected(self):
+        out_port = OutPort()
+        connect(out_port, InPort(buffer=1))
+        connect(out_port, InPort(buffer=1))
+        with pytest.raises(ChannelError, match="broadcast"):
+            out_port.send(mov([1, 2]))
+
+
+class TestSharedNothing:
+    def test_lists_are_deep_copied(self):
+        out_port, in_port = channel(buffer=1)
+        payload = {"data": [1, 2, 3]}
+        out_port.send(payload)
+        received = in_port.receive()
+        received["data"][0] = 99
+        assert payload["data"][0] == 1
+
+    def test_managed_arrays_are_cloned(self):
+        out_port, in_port = channel(buffer=1)
+        array = ManagedArray([1.0, 2.0], (2,))
+        out_port.send({"a": array})
+        received = in_port.receive()["a"]
+        received[0] = 9.0
+        assert array[0] == 1.0
+
+    def test_ports_travel_by_reference(self):
+        out_port, in_port = channel(buffer=1)
+        inner = InPort(buffer=1)
+        out_port.send({"reply_to": inner})
+        received = in_port.receive()
+        assert received["reply_to"] is inner
+
+
+class TestMovability:
+    def test_move_transfers_ownership(self):
+        out_port, in_port = channel(buffer=1)
+        box = mov([1.0, 2.0])
+        out_port.send(box)
+        with pytest.raises(MovedValueError):
+            _ = box.value
+        received = in_port.receive()
+        assert isinstance(received, Movable)
+        assert received.value == [1.0, 2.0]
+
+    def test_double_send_rejected(self):
+        out_port, _ = channel(buffer=2)
+        box = mov([1])
+        out_port.send(box)
+        with pytest.raises(MovedValueError):
+            out_port.send(box)
+
+    def test_reassignment_revives_the_box(self):
+        box = mov([1])
+        box.surrender()
+        box.reassign([2])
+        assert box.value == [2]
+
+    def test_mov_is_idempotent(self):
+        box = mov([1])
+        assert mov(box) is box
+
+    def test_moved_payload_is_not_copied(self):
+        out_port, in_port = channel(buffer=1)
+        payload = [1.0] * 1000
+        out_port.send(mov(payload))
+        received = in_port.receive()
+        assert received.value is payload

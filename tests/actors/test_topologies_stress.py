@@ -1,0 +1,166 @@
+"""Larger actor topologies: rings, trees, and mixed-device fan-out."""
+
+import pytest
+
+from repro.actors import Actor, InPort, OutPort, Stage, connect
+
+
+class Relay(Actor):
+    """Receives a value, increments it, forwards it."""
+
+    rx = InPort(int)
+    tx = OutPort(int)
+
+    def behaviour(self) -> None:
+        self.tx.send(self.rx.receive() + 1)
+
+
+class TestRing:
+    @pytest.mark.parametrize("size", [2, 5, 16])
+    def test_token_ring_single_lap(self, size):
+        stage = Stage()
+
+        class Starter(Actor):
+            rx = InPort(int)
+            tx = OutPort(int)
+
+            def __init__(self) -> None:
+                super().__init__()
+                self.final = None
+
+            def behaviour(self) -> None:
+                self.tx.send(0)
+                self.final = self.rx.receive()
+                self.stop()
+
+        starter = stage.spawn(Starter())
+        relays = [stage.spawn(Relay()) for _ in range(size - 1)]
+        chain = [starter] + relays
+        for a, b in zip(chain, chain[1:]):
+            connect(a.tx, b.rx)
+        connect(chain[-1].tx, starter.rx)
+        stage.run(30)
+        assert starter.final == size - 1  # each relay added one
+
+
+class TestTree:
+    def test_binary_reduction_tree(self):
+        """Leaves send values; inner nodes sum pairs; the root collects."""
+
+        class Leaf(Actor):
+            tx = OutPort(int)
+
+            def __init__(self, value: int) -> None:
+                super().__init__()
+                self.value = value
+
+            def behaviour(self) -> None:
+                self.tx.send(self.value)
+                self.stop()
+
+        class Sum2(Actor):
+            rx = InPort(int)
+            tx = OutPort(int)
+
+            def behaviour(self) -> None:
+                total = self.rx.receive() + self.rx.receive()
+                self.tx.send(total)
+                self.stop()
+
+        class Root(Actor):
+            rx = InPort(int)
+
+            def __init__(self) -> None:
+                super().__init__()
+                self.total = None
+
+            def behaviour(self) -> None:
+                self.total = self.rx.receive()
+                self.stop()
+
+        stage = Stage()
+        values = [3, 5, 7, 11]
+        leaves = [stage.spawn(Leaf(v)) for v in values]
+        inner = [stage.spawn(Sum2()) for _ in range(2)]
+        top = stage.spawn(Sum2())
+        root = stage.spawn(Root())
+        connect(leaves[0].tx, inner[0].rx)
+        connect(leaves[1].tx, inner[0].rx)
+        connect(leaves[2].tx, inner[1].rx)
+        connect(leaves[3].tx, inner[1].rx)
+        connect(inner[0].tx, top.rx)
+        connect(inner[1].tx, top.rx)
+        connect(top.tx, root.rx)
+        stage.run(30)
+        assert root.total == sum(values)
+
+
+class TestThroughput:
+    def test_buffered_pipeline_moves_many_messages(self):
+        class Source(Actor):
+            tx = OutPort(int)
+
+            def __init__(self, count: int) -> None:
+                super().__init__()
+                self.remaining = count
+
+            def behaviour(self) -> None:
+                if self.remaining == 0:
+                    self.stop()
+                self.tx.send(self.remaining)
+                self.remaining -= 1
+
+        class Sink(Actor):
+            rx = InPort(int, buffer=32)
+
+            def __init__(self) -> None:
+                super().__init__()
+                self.count = 0
+                self.total = 0
+
+            def behaviour(self) -> None:
+                value = self.rx.receive()
+                self.count += 1
+                self.total += value
+
+        stage = Stage()
+        n = 500
+        source = stage.spawn(Source(n))
+        sink = stage.spawn(Sink())
+        connect(source.tx, sink.rx)
+        stage.run(60)
+        assert sink.count == n
+        assert sink.total == n * (n + 1) // 2
+
+    def test_many_parallel_pairs(self):
+        class Echo(Actor):
+            rx = InPort()
+            tx = OutPort()
+
+            def behaviour(self) -> None:
+                self.tx.send(self.rx.receive() * 2)
+
+        class Caller(Actor):
+            tx = OutPort()
+            rx = InPort()
+
+            def __init__(self, seed: int) -> None:
+                super().__init__()
+                self.seed = seed
+                self.reply = None
+
+            def behaviour(self) -> None:
+                self.tx.send(self.seed)
+                self.reply = self.rx.receive()
+                self.stop()
+
+        stage = Stage()
+        callers = []
+        for i in range(12):
+            echo = stage.spawn(Echo())
+            caller = stage.spawn(Caller(i))
+            connect(caller.tx, echo.rx)
+            connect(echo.tx, caller.rx)
+            callers.append(caller)
+        stage.run(60)
+        assert [c.reply for c in callers] == [2 * i for i in range(12)]

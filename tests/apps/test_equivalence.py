@@ -1,0 +1,180 @@
+"""Functional equivalence across every variant of every application.
+
+The paper: "Unless stated otherwise, the same results were observed for
+all applications and implementations — i.e. all implementations were
+functionally equivalent."  Here that statement is a test, and because
+every variant generates its inputs from the same closed forms and
+executes the same floating-point operation order, equality is *exact*,
+not approximate.
+"""
+
+import pytest
+
+from repro.apps import docrank, lud, mandelbrot, matmul, reduction
+from repro.errors import AccUnsupportedError
+
+
+class TestMatmul:
+    N = 16
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return matmul.run_python(self.N).result
+
+    def test_single_c(self, reference):
+        assert matmul.run_single_c(self.N).result == reference
+
+    @pytest.mark.parametrize("device", ["GPU", "CPU"])
+    def test_api(self, reference, device):
+        assert matmul.run_api(self.N, device).result == reference
+
+    @pytest.mark.parametrize("movable", [True, False])
+    def test_actors(self, reference, movable):
+        assert matmul.run_actors(self.N, "GPU", movable).result == reference
+
+    @pytest.mark.parametrize("device", ["GPU", "CPU"])
+    def test_ensemble(self, reference, device):
+        assert matmul.run_ensemble(self.N, device).result == reference
+
+    def test_ensemble_single(self, reference):
+        assert matmul.run_ensemble_single(self.N).result == reference
+
+    @pytest.mark.parametrize("device", ["GPU", "CPU"])
+    def test_openacc(self, reference, device):
+        assert matmul.run_openacc(self.N, device).result == reference
+
+
+class TestMandelbrot:
+    ARGS = (16, 12, 50)  # w, h, max_iter (non-square on purpose)
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return mandelbrot.run_python(*self.ARGS).result
+
+    def test_single_c(self, reference):
+        assert mandelbrot.run_single_c(*self.ARGS).result == reference
+
+    @pytest.mark.parametrize("device", ["GPU", "CPU"])
+    def test_api(self, reference, device):
+        assert mandelbrot.run_api(*self.ARGS, device).result == reference
+
+    def test_actors(self, reference):
+        assert mandelbrot.run_actors(*self.ARGS).result == reference
+
+    def test_ensemble(self, reference):
+        assert mandelbrot.run_ensemble(*self.ARGS).result == reference
+
+    def test_ensemble_single(self, reference):
+        assert mandelbrot.run_ensemble_single(*self.ARGS).result == reference
+
+    @pytest.mark.parametrize("device", ["GPU", "CPU"])
+    def test_openacc(self, reference, device):
+        assert mandelbrot.run_openacc(*self.ARGS, device).result == reference
+
+
+class TestLud:
+    N = 12
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return lud.run_python(self.N).result
+
+    def test_single_c(self, reference):
+        assert lud.run_single_c(self.N).result == reference
+
+    def test_api(self, reference):
+        assert lud.run_api(self.N, "GPU").result == reference
+
+    @pytest.mark.parametrize("movable", [True, False])
+    def test_actors(self, reference, movable):
+        assert lud.run_actors(self.N, "GPU", movable).result == reference
+
+    @pytest.mark.parametrize("movable", [True, False])
+    def test_ensemble(self, reference, movable):
+        assert lud.run_ensemble(self.N, "GPU", movable).result == reference
+
+    def test_ensemble_single(self, reference):
+        assert lud.run_ensemble_single(self.N).result == reference
+
+    def test_openacc(self, reference):
+        assert lud.run_openacc(self.N, "GPU").result == reference
+
+    def test_factorisation_matches_numpy(self):
+        import numpy as np
+
+        n = self.N
+        a = np.array(lud.generate(n)).reshape(n, n)
+        m = np.array(lud.run_python(n).meta["m"]).reshape(n, n)
+        lower = np.tril(m, -1) + np.eye(n)
+        upper = np.triu(m)
+        assert np.allclose(lower @ upper, a)
+
+
+class TestReduction:
+    N = 256
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return reduction.run_python(self.N).result
+
+    def test_planted_minimum(self, reference):
+        assert reference == 0.5
+
+    def test_single_c(self, reference):
+        assert reduction.run_single_c(self.N).result == reference
+
+    @pytest.mark.parametrize("device", ["GPU", "CPU"])
+    def test_api(self, reference, device):
+        assert reduction.run_api(self.N, device).result == reference
+
+    def test_actors(self, reference):
+        assert reduction.run_actors(self.N).result == reference
+
+    def test_ensemble(self, reference):
+        assert reduction.run_ensemble(self.N).result == reference
+
+    def test_ensemble_single(self, reference):
+        assert reduction.run_ensemble_single(self.N).result == reference
+
+    @pytest.mark.parametrize("device", ["GPU", "CPU"])
+    def test_openacc(self, reference, device):
+        assert reduction.run_openacc(self.N, device).result == reference
+
+
+class TestDocrank:
+    ARGS = (24, 12, 3)  # docs, terms, repeats
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return docrank.run_python(*self.ARGS).result
+
+    def test_single_c(self, reference):
+        assert docrank.run_single_c(*self.ARGS).result == reference
+
+    def test_api(self, reference):
+        assert docrank.run_api(*self.ARGS, "GPU").result == reference
+
+    @pytest.mark.parametrize("movable", [True, False])
+    def test_actors(self, reference, movable):
+        assert (
+            docrank.run_actors(*self.ARGS, "GPU", movable).result
+            == reference
+        )
+
+    def test_ensemble(self, reference):
+        assert docrank.run_ensemble(*self.ARGS).result == reference
+
+    def test_ensemble_single(self, reference):
+        assert docrank.run_ensemble_single(*self.ARGS).result == reference
+
+    def test_openacc_gpu_refused(self):
+        with pytest.raises(AccUnsupportedError):
+            docrank.run_openacc(*self.ARGS, "GPU")
+
+    def test_openmp_cpu(self, reference):
+        assert docrank.run_openacc(*self.ARGS, "CPU").result == reference
+
+    def test_classification_is_meaningful(self):
+        outcome = docrank.run_python(64, 32, 1)
+        wanted = outcome.meta["wanted"]
+        assert 0 < sum(wanted) < len(wanted)  # both classes present

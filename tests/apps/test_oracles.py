@@ -1,0 +1,108 @@
+"""Application kernels checked against independent numpy oracles and
+property-based inputs (the variants agreeing with each other is not
+enough — they must also be *right*)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import kernelc
+from repro.apps import docrank, lud, mandelbrot, matmul, reduction
+
+
+class TestMatmulOracle:
+    @pytest.mark.parametrize("n", [1, 2, 8, 16])
+    def test_against_numpy(self, n):
+        outcome = matmul.run_python(n)
+        a, b = matmul.generate(n)
+        expected = (
+            np.array(a).reshape(n, n) @ np.array(b).reshape(n, n)
+        ).flatten()
+        assert np.allclose(outcome.meta["c"], expected)
+
+    @settings(max_examples=15, deadline=None)
+    @given(n=st.integers(1, 10))
+    def test_property_sizes(self, n):
+        outcome = matmul.run_api(n, "GPU")
+        a, b = matmul.generate(n)
+        expected = (
+            np.array(a).reshape(n, n) @ np.array(b).reshape(n, n)
+        ).flatten()
+        assert np.allclose(outcome.meta["c"], expected)
+
+
+class TestMandelbrotOracle:
+    def test_known_points(self):
+        w = h = 33
+        counts = mandelbrot.run_python(w, h, 64).meta["counts"]
+        # centre of the viewport is (-0.5, 0): inside the set.
+        cx, cy = w // 2, h // 2
+        assert counts[cy * w + cx] == 64
+        # top-left corner (-2, -1.5) escapes almost immediately.
+        assert counts[0] <= 2
+
+    def test_iteration_cap_respected(self):
+        counts = mandelbrot.run_python(16, 16, 7).meta["counts"]
+        assert max(counts) <= 7
+        assert min(counts) >= 0
+
+
+class TestLudOracle:
+    @pytest.mark.parametrize("n", [2, 5, 12])
+    def test_lu_reconstructs_input(self, n):
+        a = np.array(lud.generate(n)).reshape(n, n)
+        m = np.array(lud.run_python(n).meta["m"]).reshape(n, n)
+        lower = np.tril(m, -1) + np.eye(n)
+        upper = np.triu(m)
+        assert np.allclose(lower @ upper, a, atol=1e-9)
+
+    def test_matches_scipy_style_doolittle(self):
+        n = 8
+        a = np.array(lud.generate(n)).reshape(n, n)
+        m = np.array(lud.run_python(n).meta["m"]).reshape(n, n)
+        # Doolittle without pivoting reproduces numpy's solve behaviour.
+        rhs = np.arange(n, dtype=float)
+        y = np.linalg.solve(np.tril(m, -1) + np.eye(n), rhs)
+        x = np.linalg.solve(np.triu(m), y)
+        assert np.allclose(a @ x, rhs)
+
+
+class TestReductionOracle:
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.sampled_from([64, 128, 192, 256, 320]))
+    def test_min_matches_python(self, n):
+        v = reduction.generate(n)
+        assert reduction.run_api(n, "GPU").result == min(v)
+
+    def test_kernel_handles_duplicated_minimum(self):
+        src = reduction.KERNEL_SOURCE
+        compiled = kernelc.build(src)
+        data = [5.0] * 128
+        data[3] = data[90] = -1.0
+        partial = [0.0] * 2
+        compiled.kernel_runner("reduce_min").run_range(
+            [data, partial, 128], [128], [64]
+        )
+        assert min(partial) == -1.0
+
+
+class TestDocrankOracle:
+    def test_scores_match_numpy(self):
+        ndocs, v = 32, 16
+        tf, w = docrank.generate(ndocs, v)
+        scores = np.array(tf, dtype=float).reshape(ndocs, v) @ np.array(w)
+        expected = (scores > 0.0).astype(int)
+        wanted = docrank.run_python(ndocs, v, 1).meta["wanted"]
+        assert wanted == expected.tolist()
+
+    def test_repeats_are_idempotent(self):
+        one = docrank.run_python(24, 12, 1).result
+        many = docrank.run_python(24, 12, 7).result
+        assert one == many
+
+    def test_corpus_is_sparse_and_deterministic(self):
+        tf1, w1 = docrank.generate(50, 20)
+        tf2, w2 = docrank.generate(50, 20)
+        assert tf1 == tf2 and w1 == w2
+        density = sum(1 for x in tf1 if x) / len(tf1)
+        assert 0.02 < density < 0.3

@@ -1,0 +1,416 @@
+"""Static rejection: type errors, structural rules for opencl actors,
+and the movability analysis."""
+
+import pytest
+
+from repro import ensemble
+from repro.errors import MovabilityError, ParseError, TypeCheckError
+
+
+def compile_(source: str):
+    return ensemble.compile_source(source)
+
+
+MINIMAL = """
+type mainI is interface(out integer unused)
+stage home {{
+  actor Main presents mainI {{
+    constructor() {{}}
+    behaviour {{
+      {body}
+      stop;
+    }}
+  }}
+  boot {{ m = new Main(); }}
+}}
+"""
+
+
+def body_program(body: str) -> str:
+    return MINIMAL.format(body=body)
+
+
+class TestTypeErrors:
+    @pytest.mark.parametrize(
+        "body, message",
+        [
+            ("x := 1;", "unknown name"),
+            ("x = 1; x = 2;", "already bound"),
+            ("x = 1; x := 2.5;", "cannot assign"),
+            ("x = 1 + true;", "numeric"),
+            ("if 1 then { }", "boolean"),
+            ("while 3.5 do { }", "boolean"),
+            ("for i = 0 .. 1.5 do { }", "integers"),
+            ("x = 1 % 2.0;", "integer"),
+            ("a = new integer[2] of 0; a[1.5] := 1;", "integer"),
+            ("a = new integer[2] of 0; x = a[0].field;", "field"),
+            ("printInt(1.5);", "printInt"),
+            ("printInt();", "arguments"),
+            ("mystery(1);", "unknown function"),
+            ("x = get_global_id(0);", "kernel"),
+            ("x = 1 and true;", "boolean"),
+        ],
+    )
+    def test_rejected(self, body, message):
+        with pytest.raises(TypeCheckError, match=message):
+            compile_(body_program(body))
+
+    def test_binding_void_rejected(self):
+        with pytest.raises(TypeCheckError, match="void"):
+            compile_(body_program('x = printString("hi");'))
+
+    def test_unknown_type_rejected(self):
+        source = """
+type mainI is interface(out mystery_t unused)
+stage home {
+  actor Main presents mainI {
+    constructor() {}
+    behaviour { stop; }
+  }
+  boot { m = new Main(); }
+}
+"""
+        with pytest.raises(TypeCheckError, match="unknown type"):
+            compile_(source)
+
+    def test_send_on_in_channel_rejected(self):
+        source = """
+type mainI is interface(in integer input)
+stage home {
+  actor Main presents mainI {
+    constructor() {}
+    behaviour { send 1 on input; stop; }
+  }
+  boot { m = new Main(); }
+}
+"""
+        with pytest.raises(TypeCheckError, match="out channel"):
+            compile_(source)
+
+    def test_connect_element_mismatch_rejected(self):
+        source = """
+type aI is interface(out integer tx)
+type bI is interface(in real rx)
+stage home {
+  actor A presents aI {
+    constructor() {}
+    behaviour { stop; }
+  }
+  actor B presents bI {
+    constructor() {}
+    behaviour { stop; }
+  }
+  boot {
+    a = new A();
+    b = new B();
+    connect a.tx to b.rx;
+  }
+}
+"""
+        with pytest.raises(TypeCheckError, match="connect"):
+            compile_(source)
+
+    def test_parse_error_on_assignment_to_expression(self):
+        with pytest.raises(ParseError, match="':='"):
+            compile_(body_program("1 + 1 = 2;"))
+
+
+OPENCL_TEMPLATE = """
+type data_t is struct (real [] values)
+type settings_t is opencl struct (
+    integer [] worksize;
+    integer [] groupsize;
+    in data_t input;
+    out data_t output
+)
+type kI is interface({iface})
+stage home {{
+  opencl actor K presents kI {{
+    constructor() {{}}
+    behaviour {{
+{behaviour}
+    }}
+  }}
+  boot {{ k = new K(); }}
+}}
+"""
+
+
+class TestOpenclStructure:
+    def test_valid_kernel_actor_compiles(self):
+        source = OPENCL_TEMPLATE.format(
+            iface="in settings_t requests",
+            behaviour="""
+      receive req from requests;
+      receive d from req.input;
+      i = get_global_id(0);
+      d.values[i] := d.values[i] * 2.0;
+      send d on req.output;
+""",
+        )
+        compiled = compile_(source)
+        plan = compiled.actors["K"].kernel_plan
+        assert plan is not None
+        assert "k_kernel" in plan.kernel_source
+
+    def test_interface_must_have_single_channel(self):
+        source = OPENCL_TEMPLATE.format(
+            iface="in settings_t requests; out data_t extra",
+            behaviour="""
+      receive req from requests;
+      receive d from req.input;
+      send d on req.output;
+""",
+        )
+        with pytest.raises(TypeCheckError, match="single channel"):
+            compile_(source)
+
+    def test_first_statement_must_receive_request(self):
+        source = OPENCL_TEMPLATE.format(
+            iface="in settings_t requests",
+            behaviour="""
+      x = 1;
+      receive req from requests;
+      receive d from req.input;
+      send d on req.output;
+""",
+        )
+        with pytest.raises(TypeCheckError, match="first statement"):
+            compile_(source)
+
+    def test_last_statement_must_send_output(self):
+        source = OPENCL_TEMPLATE.format(
+            iface="in settings_t requests",
+            behaviour="""
+      receive req from requests;
+      receive d from req.input;
+      x = get_global_id(0);
+""",
+        )
+        with pytest.raises(TypeCheckError, match="last statement"):
+            compile_(source)
+
+    def test_print_in_kernel_region_rejected(self):
+        source = OPENCL_TEMPLATE.format(
+            iface="in settings_t requests",
+            behaviour="""
+      receive req from requests;
+      receive d from req.input;
+      printString("no");
+      send d on req.output;
+""",
+        )
+        with pytest.raises(TypeCheckError, match="print"):
+            compile_(source)
+
+    def test_nested_receive_in_kernel_region_rejected(self):
+        source = OPENCL_TEMPLATE.format(
+            iface="in settings_t requests",
+            behaviour="""
+      receive req from requests;
+      receive d from req.input;
+      receive e from req.input;
+      send d on req.output;
+""",
+        )
+        with pytest.raises(TypeCheckError):
+            compile_(source)
+
+    def test_opencl_struct_shape_enforced(self):
+        source = """
+type bad_t is opencl struct (
+    integer [] worksize;
+    in integer input;
+    out integer output
+)
+type kI is interface(in bad_t requests)
+stage home {
+  opencl actor K presents kI {
+    constructor() {}
+    behaviour {
+      receive req from requests;
+      receive d from req.input;
+      send d on req.output;
+    }
+  }
+  boot { k = new K(); }
+}
+"""
+        with pytest.raises(TypeCheckError, match="two integer"):
+            compile_(source)
+
+    def test_workitem_builtins_allowed_only_in_kernel(self):
+        with pytest.raises(TypeCheckError, match="kernel"):
+            compile_(body_program("x = get_local_id(0);"))
+
+
+MOV_TEMPLATE = """
+type txI is interface(out mov real[] data)
+type rxI is interface(in mov real[] data)
+stage home {{
+  actor Tx presents txI {{
+    constructor() {{}}
+    behaviour {{
+{behaviour}
+      stop;
+    }}
+  }}
+  actor Rx presents rxI {{
+    constructor() {{}}
+    behaviour {{
+      receive v from data;
+      stop;
+    }}
+  }}
+  boot {{
+    t = new Tx();
+    r = new Rx();
+    connect t.data to r.data;
+  }}
+}}
+"""
+
+
+class TestMovabilityAnalysis:
+    def test_use_after_send_rejected(self):
+        source = MOV_TEMPLATE.format(
+            behaviour="""
+      v = new real[4] of 0.0;
+      send v on data;
+      printReal(v[0]);
+"""
+        )
+        with pytest.raises(MovabilityError, match="used after"):
+            compile_(source)
+
+    def test_write_through_after_send_rejected(self):
+        source = MOV_TEMPLATE.format(
+            behaviour="""
+      v = new real[4] of 0.0;
+      send v on data;
+      v[0] := 1.0;
+"""
+        )
+        with pytest.raises(MovabilityError):
+            compile_(source)
+
+    def test_reassignment_after_send_accepted(self):
+        source = MOV_TEMPLATE.format(
+            behaviour="""
+      v = new real[4] of 0.0;
+      send v on data;
+      v := new real[4] of 1.0;
+      printReal(v[0]);
+"""
+        )
+        compile_(source)
+
+    def test_loop_carried_move_rejected(self):
+        # Moved at the bottom of the behaviour loop, read at the top of
+        # the next iteration: the back-edge analysis must catch it.
+        source = """
+type txI is interface(out mov real[] data)
+type rxI is interface(in mov real[] data)
+stage home {
+  actor Tx presents txI {
+    constructor() {}
+    behaviour {
+      v = new real[2] of 0.0;
+      while v[0] < 10.0 do {
+        v[0] := v[0] + 1.0;
+        send v on data;
+      }
+      stop;
+    }
+  }
+  actor Rx presents rxI {
+    constructor() {}
+    behaviour {
+      receive v from data;
+    }
+  }
+  boot {
+    t = new Tx();
+    r = new Rx();
+    connect t.data to r.data;
+  }
+}
+"""
+        with pytest.raises(MovabilityError):
+            compile_(source)
+
+    def test_branch_join_is_conservative(self):
+        source = MOV_TEMPLATE.format(
+            behaviour="""
+      v = new real[4] of 0.0;
+      flag = true;
+      if flag then {
+        send v on data;
+      }
+      printReal(v[0]);
+"""
+        )
+        with pytest.raises(MovabilityError):
+            compile_(source)
+
+    def test_receive_unmoves(self):
+        source = """
+type loopI is interface(out mov real[] tx; in mov real[] rx)
+type echoI is interface(in mov real[] rx; out mov real[] tx)
+stage home {
+  actor Loop presents loopI {
+    constructor() {}
+    behaviour {
+      v = new real[2] of 1.0;
+      send v on tx;
+      receive v from rx;
+      printReal(v[0]);
+      stop;
+    }
+  }
+  actor Echo presents echoI {
+    constructor() {}
+    behaviour {
+      receive v from rx;
+      send v on tx;
+    }
+  }
+  boot {
+    l = new Loop();
+    e = new Echo();
+    connect l.tx to e.rx;
+    connect e.tx to l.rx;
+  }
+}
+"""
+        compile_(source)
+
+    def test_plain_channels_do_not_move(self):
+        source = """
+type txI is interface(out real[] data)
+type rxI is interface(in real[] data)
+stage home {
+  actor Tx presents txI {
+    constructor() {}
+    behaviour {
+      v = new real[4] of 0.0;
+      send v on data;
+      printReal(v[0]);
+      stop;
+    }
+  }
+  actor Rx presents rxI {
+    constructor() {}
+    behaviour {
+      receive v from data;
+      stop;
+    }
+  }
+  boot {
+    t = new Tx();
+    r = new Rx();
+    connect t.data to r.data;
+  }
+}
+"""
+        compile_(source)

@@ -1,0 +1,168 @@
+"""Error propagation and runtime faults in compiled Ensemble programs."""
+
+import pytest
+
+from repro import ensemble
+from repro.errors import ActorError, KirRuntimeError
+from repro.runtime.vm import EnsembleVM
+
+
+def run(source: str, timeout: float = 20.0) -> EnsembleVM:
+    vm = EnsembleVM(ensemble.compile_source(source))
+    vm.run(timeout)
+    return vm
+
+
+MAIN = """
+type mainI is interface(out integer unused)
+stage home {{
+  actor Main presents mainI {{
+    constructor() {{}}
+    behaviour {{
+      {body}
+      stop;
+    }}
+  }}
+  boot {{ m = new Main(); }}
+}}
+"""
+
+
+class TestRuntimeFaults:
+    def test_division_by_zero_surfaces_as_actor_error(self):
+        with pytest.raises(ActorError):
+            run(MAIN.format(body="x = 0; y = 1 / x; printInt(y);"))
+
+    def test_array_out_of_bounds(self):
+        with pytest.raises(ActorError):
+            run(MAIN.format(body="a = new integer[2] of 0; a[5] := 1;"))
+
+    def test_negative_index(self):
+        with pytest.raises(ActorError, match="out of range"):
+            run(MAIN.format(body="a = new integer[2] of 0; x = a[0 - 1];"))
+
+    def test_error_message_names_the_actor(self):
+        with pytest.raises(ActorError, match="Main"):
+            run(MAIN.format(body="x = 1 / 0;"))
+
+    def test_deadlocked_program_times_out(self):
+        source = """
+type aI is interface(in integer never)
+stage home {
+  actor A presents aI {
+    constructor() {}
+    behaviour {
+      receive v from never;
+      stop;
+    }
+  }
+  boot { a = new A(); }
+}
+"""
+        compiled = ensemble.compile_source(source)
+        vm = EnsembleVM(compiled)
+        with pytest.raises(ActorError, match="did not stop"):
+            vm.run(0.3)
+        vm.stage.stop_all()
+
+
+class TestKernelRuntimeFaults:
+    def test_kernel_out_of_bounds_surfaces(self):
+        source = """
+type data_t is struct (real [] values)
+type settings_t is opencl struct (
+    integer [] worksize;
+    integer [] groupsize;
+    in data_t input;
+    out data_t output
+)
+type hostI is interface (
+  out settings_t requests;
+  out data_t dout;
+  in data_t din
+)
+type kI is interface(in settings_t requests)
+stage home {
+  opencl actor K presents kI {
+    constructor() {}
+    behaviour {
+      receive req from requests;
+      receive d from req.input;
+      d.values[99] := 1.0;
+      send d on req.output;
+    }
+  }
+  actor Host presents hostI {
+    constructor() {}
+    behaviour {
+      ws = new integer[1] of 2;
+      gs = new integer[1] of 0;
+      i = new in data_t;
+      o = new out data_t;
+      connect dout to i;
+      connect o to din;
+      config = new settings_t(ws, gs, i, o);
+      d = new data_t(new real[2] of 0.0);
+      send config on requests;
+      send d on dout;
+      receive d from din;
+      stop;
+    }
+  }
+  boot {
+    h = new Host();
+    k = new K();
+    connect h.requests to k.requests;
+  }
+}
+"""
+        with pytest.raises(ActorError, match="out of range"):
+            run(source)
+
+
+class TestIsolation:
+    def test_two_vms_do_not_share_state(self):
+        source = MAIN.format(body="printInt(randomInt(100));")
+        vm1 = run(source)
+        vm2 = run(source)
+        assert vm1.output == vm2.output  # fresh deterministic rng each
+        assert vm1.stage is not vm2.stage
+
+    def test_actor_instances_have_private_state(self):
+        source = """
+type cI is interface(out integer tx)
+type sI is interface(in integer rx)
+stage home {
+  actor Counter presents cI {
+    count = 0;
+    constructor() {}
+    behaviour {
+      count := count + 1;
+      if count > 2 then { stop; }
+      send count on tx;
+    }
+  }
+  actor Sink presents sI {
+    total = 0;
+    constructor() {}
+    behaviour {
+      receive v from rx;
+      total := total + v;
+      if total == 6 then {
+        printInt(total);
+        stop;
+      }
+    }
+  }
+  boot {
+    a = new Counter();
+    b = new Counter();
+    s = new Sink();
+    connect a.tx to s.rx;
+    connect b.tx to s.rx;
+  }
+}
+"""
+        vm = run(source)
+        # each counter independently sends 1 then 2: total = 6
+        assert vm.output == ["6"]

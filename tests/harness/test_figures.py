@@ -1,0 +1,117 @@
+"""Harness behaviour: scaled platforms, figure assembly, rendering."""
+
+import pytest
+
+from repro.harness import (
+    SEGMENTS,
+    Bar,
+    FigureResult,
+    FigureSpec,
+    bench_platform,
+    build_figure,
+    render_figure,
+    scaled_devices,
+)
+from repro.opencl import find_device, get_platforms, gpu_spec
+from repro.runtime.oclenv import device_matrix
+
+
+class TestBenchPlatform:
+    def test_bandwidth_scaled_up_by_size_ratio(self):
+        platform = bench_platform(0.1, 8.0)
+        gpu = [d for d in platform.devices if d.device_type == "GPU"][0]
+        base = gpu_spec(0.1)
+        assert gpu.spec.h2d_bytes_per_ns == pytest.approx(
+            base.h2d_bytes_per_ns * 8.0
+        )
+
+    def test_fixed_costs_scaled_down(self):
+        platform = bench_platform(0.1, 8.0, fixed_ratio=100.0)
+        gpu = [d for d in platform.devices if d.device_type == "GPU"][0]
+        base = gpu_spec(0.1)
+        assert gpu.spec.compile_ns == pytest.approx(base.compile_ns / 100.0)
+        assert gpu.spec.kernel_launch_ns == pytest.approx(
+            base.kernel_launch_ns / 100.0
+        )
+
+    def test_scaled_devices_installs_and_restores(self):
+        before = get_platforms()[0].name
+        with scaled_devices(0.1, 4.0):
+            assert get_platforms()[0].name == "Repro bench platform"
+            assert device_matrix().environments() == []
+        assert get_platforms()[0].name == before
+
+
+class TestFigureAssembly:
+    @pytest.fixture(scope="class")
+    def figure(self):
+        from repro.apps import matmul
+
+        spec = FigureSpec(
+            "3a-test",
+            "tiny matmul",
+            ensemble=matmul.run_ensemble,
+            c_opencl=matmul.run_api,
+            openacc=matmul.run_openacc,
+            params={"n": 8},
+            compute_scale=0.1,
+            size_ratio=4.0,
+        )
+        return build_figure(spec)
+
+    def test_six_bars(self, figure):
+        labels = [bar.label for bar in figure.bars]
+        assert labels == [
+            "Ensemble GPU",
+            "C-OpenCL GPU",
+            "C-OpenACC GPU",
+            "Ensemble CPU",
+            "C-OpenCL CPU",
+            "C-OpenACC CPU",
+        ]
+
+    def test_baseline_normalisation(self, figure):
+        assert figure.bar("Ensemble GPU").total == pytest.approx(1.0)
+        for bar in figure.bars:
+            if not bar.failed:
+                assert bar.total == pytest.approx(
+                    sum(bar.segments.values())
+                )
+
+    def test_segments_are_the_papers_four(self, figure):
+        for bar in figure.bars:
+            if not bar.failed:
+                assert set(bar.segments) == set(SEGMENTS)
+
+    def test_render_mentions_every_bar(self, figure):
+        text = render_figure(figure)
+        for bar in figure.bars:
+            assert bar.label in text
+
+    def test_missing_variant_rendered_as_failure(self):
+        result = FigureResult(
+            "x",
+            "t",
+            [
+                Bar("Ensemble GPU", {s: 0.25 for s in SEGMENTS}, 1.0, 100.0),
+                Bar("C-OpenACC GPU", {}, 0.0, 0.0, "compiler rejected"),
+            ],
+            100.0,
+        )
+        text = render_figure(result)
+        assert "no result" in text
+
+    def test_variant_disagreement_is_detected(self):
+        from repro.apps.common import RunOutcome
+
+        def good(device_type="GPU", **kw):
+            return RunOutcome(1.0, {s: 1.0 for s in SEGMENTS})
+
+        def bad(device_type="GPU", **kw):
+            return RunOutcome(2.0, {s: 1.0 for s in SEGMENTS})
+
+        spec = FigureSpec(
+            "bad", "t", ensemble=good, c_opencl=bad, openacc=None
+        )
+        with pytest.raises(AssertionError, match="disagree"):
+            build_figure(spec)

@@ -1,0 +1,210 @@
+"""Kernel-C parsing and type checking."""
+
+import pytest
+
+from repro import kernelc, kir
+from repro.errors import ParseError, TypeCheckError
+
+
+def run(source, fn, args):
+    value, _ = kernelc.run_host(source, fn, list(args))
+    return value
+
+
+class TestParsing:
+    def test_compound_assignment_forms(self):
+        src = """
+        int f(int x) {
+            x += 2; x -= 1; x *= 3; x /= 2; x %= 10;
+            x++; x--;
+            return x;
+        }
+        """
+        x = 5
+        x += 2; x -= 1; x *= 3; x //= 2; x %= 10; x += 1; x -= 1
+        assert run(src, "f", [5]) == x
+
+    def test_array_compound_assignment(self):
+        src = """
+        void f(__global int *a) { a[0] += 5; a[1] *= 2; a[2]++; }
+        """
+        a = [1, 2, 3]
+        kernelc.run_host(src, "f", [a])
+        assert a == [6, 4, 4]
+
+    def test_dangling_else_binds_to_nearest_if(self):
+        src = """
+        int f(int x) {
+            if (x > 0)
+                if (x > 10) return 2;
+                else return 1;
+            return 0;
+        }
+        """
+        assert run(src, "f", [20]) == 2
+        assert run(src, "f", [5]) == 1
+        assert run(src, "f", [-1]) == 0
+
+    def test_noncanonical_for_lowered_to_while(self):
+        src = """
+        int f(int n) {
+            int count = 0;
+            for (int i = n; i > 1; i = i / 2) { count++; }
+            return count;
+        }
+        """
+        assert run(src, "f", [16]) == 4
+
+    def test_for_le_condition_inclusive(self):
+        src = "int f(int n) { int s = 0; for (int i = 0; i <= n; i++) { s += i; } return s; }"
+        assert run(src, "f", [4]) == 10
+
+    def test_empty_for_clauses(self):
+        src = """
+        int f(int n) {
+            int i = 0;
+            int s = 0;
+            for (; i < n;) { s += i; i++; }
+            return s;
+        }
+        """
+        assert run(src, "f", [4]) == 6
+
+    def test_operator_precedence(self):
+        src = "int f() { return 2 + 3 * 4 - 10 / 5; }"
+        assert run(src, "f", []) == 12
+
+    def test_bitwise_and_shift(self):
+        src = "int f(int x) { return (x << 2 | 1) & 255 ^ 3; }"
+        assert run(src, "f", [7]) == ((7 << 2 | 1) & 255) ^ 3
+
+    def test_unary_operators(self):
+        src = "int f(int x) { return -x + ~x; }"
+        assert run(src, "f", [5]) == -5 + ~5
+
+    def test_parse_error_has_position(self):
+        with pytest.raises(ParseError) as info:
+            kernelc.compile_source("int f( { }")
+        assert "2:" in str(info.value) or "1:" in str(info.value)
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(ParseError):
+            kernelc.compile_source("int f() { int a = 1 return a; }")
+
+
+class TestTypeChecking:
+    def test_int_widens_to_float(self):
+        src = "float f(int x) { float y = x; return y / 2; }"
+        assert run(src, "f", [5]) == 2.5
+
+    def test_int_division_stays_integral(self):
+        src = "int f() { return 7 / 2; }"
+        assert run(src, "f", []) == 3
+
+    def test_mixed_division_is_float(self):
+        src = "float f() { return 7 / 2.0; }"
+        assert run(src, "f", []) == 3.5
+
+    def test_explicit_cast_truncates(self):
+        src = "int f(float x) { return (int)x; }"
+        assert run(src, "f", [3.9]) == 3
+        assert run(src, "f", [-3.9]) == -3
+
+    def test_bool_arithmetic_rejected(self):
+        with pytest.raises(TypeCheckError):
+            kernelc.compile_source("int f(bool b) { return b + 1; }")
+
+    def test_assigning_scalar_to_bool_rejected(self):
+        with pytest.raises(TypeCheckError, match="bool"):
+            kernelc.compile_source("void f() { bool b = true; b = 1; }")
+
+    def test_mod_on_floats_allowed_as_fmod(self):
+        src = "float f(float x) { return x % 2.0; }"
+        assert run(src, "f", [5.5]) == 1.5
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(TypeCheckError, match="unknown function"):
+            kernelc.compile_source("int f() { return g(); }")
+
+    def test_argument_count_checked(self):
+        with pytest.raises(TypeCheckError, match="expects"):
+            kernelc.compile_source(
+                "int g(int a) { return a; } int f() { return g(); }"
+            )
+
+    def test_array_argument_element_type_checked(self):
+        with pytest.raises(TypeCheckError):
+            kernelc.compile_source(
+                "int g(__global float *a) { return 0; }"
+                "int f(__global int *b) { return g(b); }"
+            )
+
+    def test_return_type_coerced(self):
+        src = "float f() { return 3; }"
+        value = run(src, "f", [])
+        assert value == 3.0 and isinstance(value, float)
+
+    def test_void_function_returning_value_rejected(self):
+        with pytest.raises(TypeCheckError, match="void"):
+            kernelc.compile_source("void f() { return 1; }")
+
+    def test_ternary_branch_types_unified(self):
+        src = "float f(int x) { return x > 0 ? 1 : 0.5; }"
+        assert run(src, "f", [1]) == 1.0
+        assert run(src, "f", [-1]) == 0.5
+
+    def test_math_builtin_signature_checked(self):
+        with pytest.raises(TypeCheckError, match="sqrt"):
+            kernelc.compile_source("float f() { return sqrt(1.0, 2.0); }")
+
+
+class TestKernels:
+    def test_kernel_must_return_void(self):
+        with pytest.raises(ParseError, match="void"):
+            kernelc.compile_source("__kernel int k() { return 1; }")
+
+    def test_workitem_builtin_in_host_rejected(self):
+        with pytest.raises(TypeCheckError):
+            kernelc.compile_source("int f() { return get_global_id(0); }")
+
+    def test_2d_kernel_identity(self):
+        src = """
+        __kernel void k(__global int *out, int w) {
+            int x = get_global_id(0);
+            int y = get_global_id(1);
+            out[y * w + x] = y * w + x;
+        }
+        """
+        compiled = kernelc.build(src)
+        out = [0] * 12
+        compiled.kernel_runner("k").run_range([out, 4], [4, 3], [2, 1])
+        assert out == list(range(12))
+
+    def test_group_builtins(self):
+        src = """
+        __kernel void k(__global int *groups, __global int *locals) {
+            int g = get_global_id(0);
+            groups[g] = get_group_id(0) * 100 + get_num_groups(0);
+            locals[g] = get_local_id(0) * 100 + get_local_size(0);
+        }
+        """
+        compiled = kernelc.build(src)
+        groups = [0] * 6
+        locals_ = [0] * 6
+        compiled.kernel_runner("k").run_range([groups, locals_], [6], [3])
+        assert groups == [2, 2, 2, 102, 102, 102]
+        assert locals_ == [3, 103, 203, 3, 103, 203]
+
+    def test_private_array_is_per_item(self):
+        src = """
+        __kernel void k(__global int *out, int n) {
+            int scratch[4];
+            int g = get_global_id(0);
+            for (int i = 0; i < 4; i++) { scratch[i] = g; }
+            out[g] = scratch[3];
+        }
+        """
+        compiled = kernelc.build(src)
+        out = [0] * 8
+        compiled.kernel_runner("k").run_range([out, 8], [8], [4])
+        assert out == list(range(8))

@@ -1,0 +1,146 @@
+"""Group-mode kernel execution: barriers, local memory, divergence."""
+
+import pytest
+
+from repro import kernelc
+from repro.errors import KirRuntimeError
+
+
+def run(source, name, args, gsz, lsz):
+    return kernelc.build(source).kernel_runner(name).run_range(args, gsz, lsz)
+
+
+class TestLockstep:
+    def test_barrier_orders_cross_item_reads(self):
+        # Every item reads its *neighbour's* value written before the
+        # barrier: without lock-step scheduling this is garbage.
+        src = """
+        __kernel void rotate(__global int *data, __global int *out) {
+            __local int tile[4];
+            int lid = get_local_id(0);
+            tile[lid] = data[get_global_id(0)];
+            barrier(CLK_LOCAL_MEM_FENCE);
+            out[get_global_id(0)] = tile[(lid + 1) % 4];
+        }
+        """
+        data = [10, 20, 30, 40, 50, 60, 70, 80]
+        out = [0] * 8
+        run(src, "rotate", [data, out], [8], [4])
+        assert out == [20, 30, 40, 10, 60, 70, 80, 50]
+
+    def test_multiple_barriers(self):
+        src = """
+        __kernel void pingpong(__global int *out) {
+            __local int a[2];
+            __local int b[2];
+            int lid = get_local_id(0);
+            a[lid] = lid + 1;
+            barrier(CLK_LOCAL_MEM_FENCE);
+            b[lid] = a[1 - lid] * 10;
+            barrier(CLK_LOCAL_MEM_FENCE);
+            out[get_global_id(0)] = b[1 - lid];
+        }
+        """
+        out = [0, 0]
+        run(src, "pingpong", [out], [2], [2])
+        assert out == [10, 20]
+
+    def test_groups_do_not_share_local_memory(self):
+        src = """
+        __kernel void stamp(__global int *out) {
+            __local int tile[2];
+            int lid = get_local_id(0);
+            if (lid == 0) { tile[0] = get_group_id(0) + 1; }
+            barrier(CLK_LOCAL_MEM_FENCE);
+            out[get_global_id(0)] = tile[0];
+        }
+        """
+        out = [0] * 6
+        run(src, "stamp", [out], [6], [2])
+        assert out == [1, 1, 2, 2, 3, 3]
+
+    def test_barrier_in_uniform_loop(self):
+        src = """
+        __kernel void waves(__global int *out) {
+            __local int acc[4];
+            int lid = get_local_id(0);
+            acc[lid] = 1;
+            barrier(CLK_LOCAL_MEM_FENCE);
+            for (int round = 0; round < 3; round++) {
+                int left = acc[(lid + 3) % 4];
+                barrier(CLK_LOCAL_MEM_FENCE);
+                acc[lid] = acc[lid] + left;
+                barrier(CLK_LOCAL_MEM_FENCE);
+            }
+            out[get_global_id(0)] = acc[lid];
+        }
+        """
+        out = [0] * 4
+        run(src, "waves", [out], [4], [4])
+        assert out == [8, 8, 8, 8]
+
+    def test_divergent_barrier_detected(self):
+        # Half the group skips the barrier: undefined behaviour in
+        # OpenCL; the engine reports it loudly.
+        src = """
+        __kernel void bad(__global int *out) {
+            __local int tile[4];
+            int lid = get_local_id(0);
+            if (lid < 2) {
+                tile[lid] = 1;
+                barrier(CLK_LOCAL_MEM_FENCE);
+            }
+            out[get_global_id(0)] = lid;
+        }
+        """
+        with pytest.raises(KirRuntimeError, match="divergence"):
+            run(src, "bad", [[0] * 4], [4], [4])
+
+    def test_local_size_from_builtin(self):
+        src = """
+        __kernel void widths(__global int *out) {
+            __local int tile[8];
+            int lid = get_local_id(0);
+            tile[lid] = get_local_size(0);
+            barrier(CLK_LOCAL_MEM_FENCE);
+            out[get_global_id(0)] = tile[(lid + 1) % get_local_size(0)];
+        }
+        """
+        out = [0] * 8
+        run(src, "widths", [out], [8], [8])
+        assert out == [8] * 8
+
+    def test_local_array_without_barrier_still_group_mode(self):
+        # Local memory alone (no barrier) forces group scheduling.
+        src = """
+        __kernel void k(__global int *out) {
+            __local int tile[2];
+            int lid = get_local_id(0);
+            tile[lid] = lid;
+            out[get_global_id(0)] = tile[lid];
+        }
+        """
+        compiled = kernelc.build(src)
+        runner = compiled.kernel_runner("k")
+        assert runner.group_mode
+        out = [0] * 4
+        runner.run_range([out], [4], [2])
+        assert out == [0, 1, 0, 1]
+
+    def test_item_ops_returned_per_item(self):
+        src = """
+        __kernel void k(__global int *out) {
+            __local int tile[2];
+            int lid = get_local_id(0);
+            tile[lid] = lid;
+            barrier(CLK_LOCAL_MEM_FENCE);
+            int extra = 0;
+            for (int i = 0; i < lid * 4; i++) { extra += i; }
+            out[get_global_id(0)] = extra;
+        }
+        """
+        ops = run(src, "k", [[0] * 4], [4], [2])
+        assert len(ops) == 4
+        # odd lids do extra loop work
+        assert ops[1] > ops[0]
+        assert ops[3] > ops[2]

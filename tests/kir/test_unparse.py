@@ -1,0 +1,115 @@
+"""kir -> kernel-C unparser: round trips through the kernelc parser."""
+
+import pytest
+
+from repro import kernelc, kir
+
+
+ROUND_TRIP_SOURCES = {
+    "host_function": """
+        float f(float x, int n) {
+            float acc = 0.0;
+            for (int i = 0; i < n; i++) {
+                if (i % 2 == 0) {
+                    acc += x;
+                } else {
+                    acc -= x / 2.0;
+                }
+            }
+            return acc;
+        }
+    """,
+    "kernel_with_guards": """
+        __kernel void k(__global float *a, __global float *out, int n) {
+            int i = get_global_id(0);
+            if (i < n && a[i] > 0.0) {
+                out[i] = sqrt(a[i]);
+            }
+        }
+    """,
+    "barrier_kernel": """
+        __kernel void k(__global float *a, __global float *out) {
+            __local float tile[8];
+            int lid = get_local_id(0);
+            tile[lid] = a[get_global_id(0)];
+            barrier(CLK_LOCAL_MEM_FENCE);
+            while (lid > 0) {
+                lid = lid - 1;
+            }
+            out[get_global_id(0)] = tile[0];
+        }
+    """,
+    "ternary_and_cast": """
+        int f(int a, float b) {
+            int r = a > 0 ? (int)b : -a;
+            return r;
+        }
+    """,
+}
+
+
+@pytest.mark.parametrize("name", sorted(ROUND_TRIP_SOURCES))
+def test_round_trip_is_stable(name):
+    """unparse(parse(src)) reparses to an identical second unparse."""
+    source = ROUND_TRIP_SOURCES[name]
+    module1 = kernelc.compile_source(source)
+    text1 = kir.unparse_module(module1)
+    module2 = kernelc.compile_source(text1)
+    text2 = kir.unparse_module(module2)
+    assert text1 == text2
+
+
+def test_round_trip_preserves_host_semantics():
+    source = ROUND_TRIP_SOURCES["host_function"]
+    compiled1 = kernelc.build(source)
+    compiled2 = kernelc.build(kir.unparse_module(compiled1.module))
+    for x, n in [(1.5, 7), (-2.0, 3), (0.25, 0)]:
+        r1, _ = compiled1.call("f", [x, n])
+        r2, _ = compiled2.call("f", [x, n])
+        assert r1 == r2
+
+
+def test_round_trip_preserves_kernel_semantics():
+    source = ROUND_TRIP_SOURCES["kernel_with_guards"]
+    compiled1 = kernelc.build(source)
+    compiled2 = kernelc.build(kir.unparse_module(compiled1.module))
+    a = [4.0, -1.0, 9.0, 16.0]
+    out1 = [0.0] * 4
+    out2 = [0.0] * 4
+    compiled1.kernel_runner("k").run_range([a, out1, 4], [4], [2])
+    compiled2.kernel_runner("k").run_range([a, out2, 4], [4], [2])
+    assert out1 == out2 == [2.0, 0.0, 3.0, 4.0]
+
+
+def test_unparse_emits_address_spaces():
+    source = ROUND_TRIP_SOURCES["barrier_kernel"]
+    text = kir.unparse_module(kernelc.compile_source(source))
+    assert "__local float tile[8];" in text
+    assert "__global float *a" in text
+    assert "barrier(CLK_LOCAL_MEM_FENCE);" in text
+
+
+def test_unparse_bool_literals():
+    module = kernelc.compile_source(
+        "bool f() { bool t = true; return !t; }"
+    )
+    text = kir.unparse_module(module)
+    assert "true" in text
+    assert "(!t)" in text
+
+
+def test_unparse_rejects_nonconst_for_step():
+    fn = kir.Function(
+        "f",
+        [kir.Param("n", kir.INT_T)],
+        kir.VOID,
+        [
+            kir.For(
+                "i", kir.Const(0), kir.Var("n"), kir.Var("n"), []
+            )
+        ],
+    )
+    from repro.errors import KirError
+
+    with pytest.raises(KirError, match="constant"):
+        kir.unparse_function(fn)

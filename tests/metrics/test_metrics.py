@@ -1,0 +1,202 @@
+"""Complexity metric analyzers across all three languages."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics import (
+    Metrics,
+    analyze_ensemble,
+    analyze_kernelc,
+    analyze_python,
+    build_row,
+    build_table1,
+    text_loc,
+)
+
+
+class TestTextLoc:
+    def test_blank_and_comment_lines_skipped(self):
+        src = """
+        // a comment
+        int a;   // trailing comment counts the code
+
+        /* block
+           comment */
+        int b;
+        """
+        assert text_loc(src) == 2
+
+    def test_pragma_lines_count_as_code(self):
+        src = "#pragma acc parallel loop\nfor (;;) {}\n"
+        assert text_loc(src) == 2
+
+    def test_inline_block_comment(self):
+        assert text_loc("int /* hi */ a;") == 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.sampled_from(["code;", "// c", "", "  "]), max_size=30))
+    def test_property_loc_counts_code_lines(self, lines):
+        src = "\n".join(lines)
+        assert text_loc(src) == sum(1 for l in lines if l == "code;")
+
+
+class TestPythonMetrics:
+    def test_docstrings_excluded_from_loc(self):
+        src = '''
+def f():
+    """A docstring
+    spanning lines."""
+    return 1
+'''
+        metrics = analyze_python(src)
+        assert metrics.loc == 2  # def + return
+
+    def test_cyclomatic_counts_decisions(self):
+        src = """
+def f(x):
+    if x > 0 and x < 10:
+        return 1
+    for i in range(3):
+        while i:
+            i -= 1
+    return 0
+"""
+        # 1 base + function + if + and + for + while = 6
+        assert analyze_python(src).cyclomatic == 6
+
+    def test_abc_components(self):
+        src = """
+x = 1
+y = f(x)
+if x > 0:
+    x += 1
+"""
+        metrics = analyze_python(src)
+        assert metrics.assignments == 3
+        assert metrics.branches == 1
+        assert metrics.conditions == 2  # compare + if
+
+    def test_abc_magnitude(self):
+        metrics = Metrics(0, 0, 3, 4, 0)
+        assert metrics.abc == 5.0
+
+    def test_metrics_add(self):
+        a = Metrics(10, 2, 1, 2, 3)
+        b = Metrics(5, 1, 4, 5, 6)
+        total = a + b
+        assert total.loc == 15
+        assert total.cyclomatic == 3
+        assert (total.assignments, total.branches, total.conditions) == (
+            5, 7, 9,
+        )
+
+    def test_delta_percentages(self):
+        base = Metrics(100, 10, 3, 4, 0)
+        new = Metrics(150, 9, 6, 8, 0)
+        delta = new.delta(base)
+        assert delta.loc == 50 and delta.loc_pct == 50
+        assert delta.cyclomatic == -1 and delta.cyclomatic_pct == -10
+
+
+class TestKernelcMetrics:
+    def test_counts(self):
+        src = """
+        int f(int n) {
+            int s = 0;
+            for (int i = 0; i < n; i++) {
+                if (i % 2 == 0 && i > 0) { s += g(i); }
+            }
+            return s;
+        }
+        int g(int x) { return x > 0 ? x : -x; }
+        """
+        metrics = analyze_kernelc(src)
+        # functions: f (1 + for + if + &&) + g (1 + ternary) = 6
+        assert metrics.cyclomatic == 6
+        assert metrics.branches == 1  # the call to g
+        assert metrics.loc == text_loc(src)
+
+    def test_kernel_and_host_measured_together(self):
+        src = """
+        __kernel void k(__global float *a) {
+            a[get_global_id(0)] = 0.0;
+        }
+        """
+        metrics = analyze_kernelc(src)
+        assert metrics.cyclomatic == 1
+        assert metrics.assignments == 1
+
+
+class TestEnsembleMetrics:
+    def test_counts(self):
+        src = """
+type mainI is interface(out integer unused)
+stage home {
+  actor Main presents mainI {
+    constructor() {}
+    behaviour {
+      x = 1;
+      if x > 0 and x < 5 then { x := x + 1; }
+      for i = 0 .. 3 do { x := x * 2; }
+      stop;
+    }
+  }
+  boot { m = new Main(); }
+}
+"""
+        metrics = analyze_ensemble(src)
+        # blocks: ctor(1) + behaviour(1 + if + and + for) + boot(1) = 6
+        assert metrics.cyclomatic == 6
+        assert metrics.assignments >= 3  # x bind + two :=
+        assert metrics.branches >= 1  # new Main()
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return build_table1()
+
+    def test_all_five_applications_present(self, table):
+        names = [row.application for row in table]
+        assert names == [
+            "Matrix Multiplication",
+            "Mandelbrot",
+            "Reduction",
+            "LUD",
+            "Document Ranking",
+        ]
+
+    def test_api_boilerplate_dominates(self, table):
+        for row in table:
+            assert row.c_api.loc > 25
+            assert row.c_api.abc > row.openacc.abc
+
+    def test_pragmas_are_cheap(self, table):
+        for row in table:
+            assert 0 < row.openacc.loc <= 6
+            assert abs(row.openacc.cyclomatic) <= 1
+
+    def test_ensemble_kernel_replaces_outer_loops(self, table):
+        by_name = {row.application: row for row in table}
+        assert by_name["Matrix Multiplication"].ensemble.cyclomatic < 0
+        assert by_name["Mandelbrot"].ensemble.cyclomatic < 0
+
+    def test_reduction_needs_restructuring(self, table):
+        by_name = {row.application: row for row in table}
+        row = by_name["Reduction"]
+        assert row.ensemble.loc > 15
+        assert row.ensemble.cyclomatic > 0
+
+    def test_single_row_matches_full_table(self, table):
+        row = build_row("LUD")
+        full = [r for r in table if r.application == "LUD"][0]
+        assert row == full
+
+    def test_render_contains_all_rows(self, table):
+        from repro.metrics import render_table1
+
+        text = render_table1(table)
+        for row in table:
+            assert row.application in text

@@ -1,0 +1,88 @@
+"""Pragma-line parsing."""
+
+import pytest
+
+from repro.errors import AccError
+from repro.openacc.pragmas import parse_pragma
+
+
+class TestForms:
+    def test_parallel_loop(self):
+        pragma = parse_pragma("#pragma acc parallel loop", 3)
+        assert pragma.kind == "parallel_loop"
+        assert pragma.line == 3
+        assert not pragma.tuned
+
+    def test_kernels_alias(self):
+        assert parse_pragma("#pragma acc kernels", 1).kind == "parallel_loop"
+
+    def test_data_region(self):
+        pragma = parse_pragma("#pragma acc data copy(m[0:n*n])", 1)
+        assert pragma.kind == "data"
+        assert pragma.copy == ["m"]
+
+    def test_omp_parallel_for(self):
+        pragma = parse_pragma("#pragma omp parallel for", 1)
+        assert pragma.kind == "parallel_loop"
+
+    def test_other_omp_directives_ignored(self):
+        assert parse_pragma("#pragma omp barrier", 1) is None
+
+    def test_non_pragma_directive_ignored(self):
+        assert parse_pragma("#include <stdio.h>", 1) is None
+
+    def test_unknown_acc_directive_rejected(self):
+        with pytest.raises(AccError):
+            parse_pragma("#pragma acc teleport", 1)
+
+
+class TestClauses:
+    def test_data_clauses_with_sections(self):
+        pragma = parse_pragma(
+            "#pragma acc parallel loop copyin(a[0:n], b) copyout(c) copy(d)",
+            1,
+        )
+        assert pragma.copyin == ["a", "b"]
+        assert pragma.copyout == ["c"]
+        assert pragma.copy == ["d"]
+
+    def test_gang_worker_vector_mark_tuned(self):
+        pragma = parse_pragma("#pragma acc parallel loop gang worker vector", 1)
+        assert pragma.gang and pragma.worker and pragma.vector
+        assert pragma.tuned
+
+    def test_collapse_and_num_gangs(self):
+        pragma = parse_pragma(
+            "#pragma acc parallel loop collapse(2) num_gangs(8)", 1
+        )
+        assert pragma.collapse == 2
+        assert pragma.num_gangs == 8
+
+    def test_reduction_clause(self):
+        pragma = parse_pragma(
+            "#pragma acc parallel loop reduction(min:m)", 1
+        )
+        assert pragma.reduction == [("min", "m")]
+
+    @pytest.mark.parametrize("op", ["min", "max", "+"])
+    def test_reduction_operators(self, op):
+        pragma = parse_pragma(
+            f"#pragma acc parallel loop reduction({op}:x)", 1
+        )
+        assert pragma.reduction == [(op, "x")]
+
+    def test_unsupported_reduction_operator(self):
+        with pytest.raises(AccError):
+            parse_pragma("#pragma acc parallel loop reduction(*:x)", 1)
+
+    def test_malformed_reduction(self):
+        with pytest.raises(AccError):
+            parse_pragma("#pragma acc parallel loop reduction(m)", 1)
+
+    def test_unknown_clause_rejected(self):
+        with pytest.raises(AccError, match="clause"):
+            parse_pragma("#pragma acc parallel loop sparkle(3)", 1)
+
+    def test_bad_name_in_clause(self):
+        with pytest.raises(AccError):
+            parse_pragma("#pragma acc parallel loop copy(1abc)", 1)

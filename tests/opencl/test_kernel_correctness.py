@@ -1,0 +1,205 @@
+"""A gallery of diverse kernels validated against numpy oracles, run
+through the full substrate (program build, arg binding, dispatch)."""
+
+import numpy as np
+import pytest
+
+from repro.opencl import Buffer, CommandQueue, Context, Program, find_device
+
+
+@pytest.fixture()
+def gpu():
+    device = find_device("GPU")
+    ctx = Context([device])
+    queue = CommandQueue(ctx, device)
+    return ctx, queue
+
+
+def dispatch(ctx, queue, source, name, buffers, scalars, gsz, lsz=None):
+    program = Program(ctx, source).build()
+    kernel = program.create_kernel(name)
+    index = 0
+    for buf in buffers:
+        kernel.set_arg(index, buf)
+        index += 1
+    for scalar in scalars:
+        kernel.set_arg(index, scalar)
+        index += 1
+    queue.enqueue_nd_range_kernel(kernel, gsz, lsz)
+
+
+def to_buffer(ctx, queue, values, dtype="float"):
+    buf = Buffer(ctx, len(values), dtype)
+    queue.enqueue_write_buffer(buf, list(values))
+    return buf
+
+
+def read(queue, buf):
+    out = [0.0] * buf.n_elements if buf.dtype == "float" else [0] * buf.n_elements
+    queue.enqueue_read_buffer(buf, out)
+    return out
+
+
+class TestStencil:
+    SOURCE = """
+    __kernel void blur3(__global float *src, __global float *dst, int n) {
+        int i = get_global_id(0);
+        if (i > 0 && i < n - 1) {
+            dst[i] = (src[i - 1] + src[i] + src[i + 1]) / 3.0;
+        } else {
+            dst[i] = src[i];
+        }
+    }
+    """
+
+    def test_matches_numpy(self, gpu):
+        ctx, queue = gpu
+        n = 64
+        rng = np.random.default_rng(7)
+        data = rng.uniform(-1, 1, n).tolist()
+        src = to_buffer(ctx, queue, data)
+        dst = Buffer(ctx, n)
+        dispatch(ctx, queue, self.SOURCE, "blur3", [src, dst], [n], [n])
+        out = np.array(read(queue, dst))
+        expected = np.array(data, dtype=float)
+        inner = (expected[:-2] + expected[1:-1] + expected[2:]) / 3.0
+        assert np.allclose(out[1:-1], inner)
+        assert out[0] == data[0] and out[-1] == data[-1]
+
+
+class TestMatVec:
+    SOURCE = """
+    __kernel void matvec(__global float *m, __global float *v,
+                         __global float *out, int cols) {
+        int row = get_global_id(0);
+        float acc = 0.0;
+        for (int c = 0; c < cols; c++) {
+            acc += m[row * cols + c] * v[c];
+        }
+        out[row] = acc;
+    }
+    """
+
+    def test_matches_numpy(self, gpu):
+        ctx, queue = gpu
+        rows, cols = 12, 7
+        rng = np.random.default_rng(11)
+        m = rng.uniform(-2, 2, (rows, cols))
+        v = rng.uniform(-2, 2, cols)
+        buf_m = to_buffer(ctx, queue, m.flatten().tolist())
+        buf_v = to_buffer(ctx, queue, v.tolist())
+        buf_o = Buffer(ctx, rows)
+        dispatch(
+            ctx, queue, self.SOURCE, "matvec",
+            [buf_m, buf_v, buf_o], [cols], [rows],
+        )
+        assert np.allclose(read(queue, buf_o), m @ v)
+
+
+class TestGroupScan:
+    SOURCE = """
+    __kernel void group_scan(__global int *data, __global int *out) {
+        __local int tile[8];
+        int lid = get_local_id(0);
+        int gid = get_global_id(0);
+        tile[lid] = data[gid];
+        barrier(CLK_LOCAL_MEM_FENCE);
+        for (int offset = 1; offset < 8; offset = offset * 2) {
+            int add = 0;
+            if (lid >= offset) { add = tile[lid - offset]; }
+            barrier(CLK_LOCAL_MEM_FENCE);
+            tile[lid] = tile[lid] + add;
+            barrier(CLK_LOCAL_MEM_FENCE);
+        }
+        out[gid] = tile[lid];
+    }
+    """
+
+    def test_inclusive_scan_per_group(self, gpu):
+        ctx, queue = gpu
+        data = list(range(1, 17))
+        src = to_buffer(ctx, queue, data, "int")
+        dst = Buffer(ctx, 16, "int")
+        dispatch(ctx, queue, self.SOURCE, "group_scan", [src, dst], [],
+                 [16], [8])
+        out = read(queue, dst)
+        expected = (
+            np.cumsum(data[:8]).tolist() + np.cumsum(data[8:]).tolist()
+        )
+        assert out == expected
+
+
+class TestHistogram:
+    SOURCE = """
+    __kernel void count_bins(__global int *values, __global int *hist,
+                             int n, int bins) {
+        int b = get_global_id(0);
+        int count = 0;
+        for (int i = 0; i < n; i++) {
+            if (values[i] % bins == b) { count++; }
+        }
+        hist[b] = count;
+    }
+    """
+
+    def test_matches_numpy(self, gpu):
+        ctx, queue = gpu
+        rng = np.random.default_rng(3)
+        values = rng.integers(0, 100, 200).tolist()
+        bins = 8
+        buf_v = to_buffer(ctx, queue, values, "int")
+        buf_h = Buffer(ctx, bins, "int")
+        dispatch(
+            ctx, queue, self.SOURCE, "count_bins",
+            [buf_v, buf_h], [len(values), bins], [bins], [bins],
+        )
+        out = read(queue, buf_h)
+        expected = [sum(1 for v in values if v % bins == b) for b in range(bins)]
+        assert out == expected
+
+
+class TestTranspose2D:
+    SOURCE = """
+    __kernel void transpose(__global float *src, __global float *dst,
+                            int rows, int cols) {
+        int c = get_global_id(0);
+        int r = get_global_id(1);
+        dst[c * rows + r] = src[r * cols + c];
+    }
+    """
+
+    def test_matches_numpy(self, gpu):
+        ctx, queue = gpu
+        rows, cols = 6, 4
+        rng = np.random.default_rng(5)
+        m = rng.uniform(0, 1, (rows, cols))
+        src = to_buffer(ctx, queue, m.flatten().tolist())
+        dst = Buffer(ctx, rows * cols)
+        dispatch(
+            ctx, queue, self.SOURCE, "transpose",
+            [src, dst], [rows, cols], [cols, rows], [2, 2],
+        )
+        out = np.array(read(queue, dst)).reshape(cols, rows)
+        assert np.allclose(out, m.T)
+
+
+class TestMathKernels:
+    SOURCE = """
+    __kernel void wave(__global float *x, __global float *out, int n) {
+        int i = get_global_id(0);
+        if (i < n) {
+            out[i] = sin(x[i]) * exp(-x[i] * x[i] / 2.0)
+                     + pow(fabs(x[i]), 0.5);
+        }
+    }
+    """
+
+    def test_matches_numpy(self, gpu):
+        ctx, queue = gpu
+        n = 48
+        x = np.linspace(-3, 3, n)
+        buf_x = to_buffer(ctx, queue, x.tolist())
+        buf_o = Buffer(ctx, n)
+        dispatch(ctx, queue, self.SOURCE, "wave", [buf_x, buf_o], [n], [n])
+        expected = np.sin(x) * np.exp(-x * x / 2.0) + np.sqrt(np.abs(x))
+        assert np.allclose(read(queue, buf_o), expected)

@@ -1,0 +1,148 @@
+"""Paper Section 6.2.3 edge cases: data flowing between OpenCL actors
+on *different* contexts, and multiple kernel actors sharing one device.
+"""
+
+import pytest
+
+from repro.actors import (
+    Actor,
+    InPort,
+    KernelActor,
+    KernelRequest,
+    ManagedArray,
+    OutPort,
+    Stage,
+    connect,
+    mov,
+)
+from repro.opencl import reset_platforms
+from repro.runtime import device_matrix, reset_device_matrix
+
+ADD1 = """
+__kernel void add1(__global float *x, int n) {
+    int i = get_global_id(0);
+    if (i < n) { x[i] = x[i] + 1.0; }
+}
+"""
+
+
+@pytest.fixture(autouse=True)
+def _fresh():
+    reset_platforms()
+    reset_device_matrix()
+    yield
+    reset_device_matrix()
+    reset_platforms()
+
+
+class _PipelineHost(Actor):
+    req1 = OutPort()
+    req2 = OutPort()
+    din = InPort()
+
+    def __init__(self, n: int) -> None:
+        super().__init__()
+        self.n = n
+        self.result: ManagedArray | None = None
+
+    def behaviour(self) -> None:
+        n = self.n
+        r1 = KernelRequest([n])
+        r2 = KernelRequest([n])
+        dout = OutPort()
+        connect(dout, r1.input)
+        connect(r1.output, r2.input)
+        connect(r2.output, self.din)
+        self.req1.send(r1)
+        self.req2.send(r2)
+        dout.send(mov({"x": ManagedArray([0.0] * n, (n,)), "n": n}))
+        self.result = self.din.receive().value["x"]
+        self.stop()
+
+
+def _run_pipeline(n: int, dev1: str, dev2: str):
+    stage = Stage()
+    k1 = stage.spawn(KernelActor(ADD1, "add1", dev1))
+    k2 = stage.spawn(KernelActor(ADD1, "add1", dev2))
+    host = stage.spawn(_PipelineHost(n))
+    connect(host.req1, k1.requests)
+    connect(host.req2, k2.requests)
+    device_matrix().reset_ledgers()
+    stage.run(60)
+    return host.result
+
+
+class TestCrossContext:
+    def test_gpu_to_cpu_migration_is_automatic(self):
+        n = 32
+        result = _run_pipeline(n, "GPU", "CPU")
+        ledger = device_matrix().combined_ledger()
+        # The runtime read the data back from the GPU context and
+        # re-uploaded it to the CPU context (OpenCL cannot move data
+        # across contexts) — two uploads, at least one read-back.
+        assert ledger.bytes_to_device == 2 * n * 4
+        assert ledger.bytes_from_device >= n * 4
+        assert result is not None
+        assert result.host() == [2.0] * n
+
+    def test_same_context_chain_moves_nothing_extra(self):
+        n = 32
+        result = _run_pipeline(n, "GPU", "GPU")
+        ledger = device_matrix().combined_ledger()
+        assert ledger.bytes_to_device == n * 4  # one upload only
+        assert ledger.bytes_from_device == 0  # still resident
+        assert result.host() == [2.0] * n  # read-back happens here
+
+
+class TestSharedDevice:
+    def test_two_kernel_actors_share_the_single_queue(self):
+        stage = Stage()
+        k1 = stage.spawn(KernelActor(ADD1, "add1", "GPU"))
+        k2 = stage.spawn(KernelActor(ADD1, "add1", "GPU"))
+        host = stage.spawn(_PipelineHost(8))
+        connect(host.req1, k1.requests)
+        connect(host.req2, k2.requests)
+        stage.run(60)
+        # Section 6.2.1: one command queue per device, shared by every
+        # kernel actor bound to it.
+        assert k1.env.queue is k2.env.queue
+        assert k1.env.context is k2.env.context
+        assert len(device_matrix().environments()) == 1
+
+    def test_many_concurrent_dispatchers_one_device(self):
+        # Several independent host/kernel pairs hammer the same device
+        # concurrently; results must be correct and the device matrix
+        # must still hold a single environment.
+        n = 16
+        stage = Stage()
+        hosts = []
+        for _ in range(4):
+            kernel = stage.spawn(KernelActor(ADD1, "add1", "GPU"))
+            host = stage.spawn(_SingleShot(n))
+            connect(host.requests, kernel.requests)
+            hosts.append(host)
+        stage.run(60)
+        for host in hosts:
+            assert host.result.host() == [1.0] * n
+        assert len(device_matrix().environments()) == 1
+
+
+class _SingleShot(Actor):
+    requests = OutPort()
+    din = InPort()
+
+    def __init__(self, n: int) -> None:
+        super().__init__()
+        self.n = n
+        self.result: ManagedArray | None = None
+
+    def behaviour(self) -> None:
+        request = KernelRequest([self.n])
+        dout = OutPort()
+        connect(dout, request.input)
+        connect(request.output, self.din)
+        self.requests.send(request)
+        dout.send(mov({"x": ManagedArray([0.0] * self.n, (self.n,)),
+                       "n": self.n}))
+        self.result = self.din.receive().value["x"]
+        self.stop()
