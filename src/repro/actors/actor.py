@@ -31,6 +31,7 @@ import traceback
 from typing import Optional
 
 from ..errors import ActorError, ChannelClosed, RuntimeFault
+from ..trace import current_tracer, thread_track
 from .channel import InPort, OutPort, connect  # noqa: F401 (re-export)
 
 _actor_ids = itertools.count(1)
@@ -99,9 +100,21 @@ class Actor:
 
     def _run(self) -> Optional[BaseException]:
         error: Optional[BaseException] = None
+        iteration = 0
         try:
             while True:
-                self.behaviour()
+                tracer = current_tracer()
+                if tracer.enabled:
+                    with tracer.span(
+                        f"behaviour:{self.name}",
+                        track=thread_track(),
+                        category="actor",
+                        iteration=iteration,
+                    ):
+                        self.behaviour()
+                else:
+                    self.behaviour()
+                iteration += 1
         except StopBehaviour:
             pass
         except ChannelClosed:

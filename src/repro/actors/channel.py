@@ -23,6 +23,7 @@ from typing import Any, Optional
 
 from ..errors import ChannelClosed, ChannelError
 from ..runtime.mov import Movable, copy_message, is_movable
+from ..trace import current_tracer, thread_track
 
 _port_ids = itertools.count(1)
 
@@ -87,6 +88,13 @@ class InPort:
     # -- operations ----------------------------------------------------------
 
     def _put(self, item: Any, timeout: Optional[float]) -> None:
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.count(
+                f"mailbox.{self.name}#{self.id}",
+                1.0,
+                track=f"channel/{self.name}#{self.id}",
+            )
         with self._lock:
             if self._closed:
                 raise ChannelError(f"{self.name}: send to a closed port")
@@ -114,6 +122,24 @@ class InPort:
         Raises :class:`ChannelClosed` when every sender has closed and
         the buffer is drained — the idiomatic end-of-stream signal.
         """
+        tracer = current_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                f"receive:{self.name}",
+                track=thread_track(),
+                category="channel",
+                port=self.name,
+            ):
+                item = self._receive(timeout)
+            tracer.count(
+                f"mailbox.{self.name}#{self.id}",
+                -1.0,
+                track=f"channel/{self.name}#{self.id}",
+            )
+            return item
+        return self._receive(timeout)
+
+    def _receive(self, timeout: Optional[float]) -> Any:
         with self._lock:
             while not self._items:
                 if self._closed or (
@@ -185,6 +211,20 @@ class OutPort:
         a :class:`~repro.runtime.mov.Movable` surrenders ownership and
         therefore allows exactly one receiver.
         """
+        tracer = current_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                f"send:{self.name}",
+                track=thread_track(),
+                category="channel",
+                port=self.name,
+                targets=len(self._targets),
+            ):
+                self._send(value, timeout)
+            return
+        self._send(value, timeout)
+
+    def _send(self, value: Any, timeout: Optional[float]) -> None:
         if self._closed:
             raise ChannelError(f"{self.name}: send on a closed port")
         if not self._targets:

@@ -22,6 +22,7 @@ from typing import Any, Optional, Sequence
 
 from ..errors import CLInvalidKernelArgs, RuntimeFault
 from .. import kir
+from ..trace import current_tracer, thread_track
 from ..opencl.program import Program
 from ..runtime.mov import Movable, is_movable
 from ..runtime.oclenv import OpenCLEnvironment, get_environment
@@ -141,6 +142,21 @@ class KernelActor(Actor):
     # -- dispatch ----------------------------------------------------------
 
     def _dispatch(self, request: KernelRequest, payload: Any) -> None:
+        tracer = current_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                f"kernel_actor.dispatch:{self.kernel_name}",
+                track=thread_track(),
+                category="actor",
+                kernel=self.kernel_name,
+                device_type=self.device_type,
+                worksize=list(request.worksize),
+            ):
+                self._dispatch_inner(request, payload)
+            return
+        self._dispatch_inner(request, payload)
+
+    def _dispatch_inner(self, request: KernelRequest, payload: Any) -> None:
         if not isinstance(payload, dict):
             raise RuntimeFault(
                 f"{self.name}: kernel data must be a dict of "

@@ -11,4 +11,8 @@ from .figures import (  # noqa: F401
     figure_spec,
     scaled_devices,
 )
-from .report import render_figure, render_ratio_summary  # noqa: F401
+from .report import (  # noqa: F401
+    render_figure,
+    render_ratio_summary,
+    render_trace_check,
+)

@@ -25,10 +25,13 @@ Both knobs are recorded in the figure result for full transparency.
 
 from __future__ import annotations
 
+import os
+import re
 from dataclasses import dataclass, field, replace
 from typing import Callable, Optional
 
 from ..errors import AccUnsupportedError
+from ..trace import Tracer, tracing, write_chrome_trace
 from ..opencl import (
     Device,
     Platform,
@@ -64,6 +67,11 @@ class FigureResult:
     bars: list[Bar]
     baseline_ns: float
     params: dict = field(default_factory=dict)
+    #: per-variant four-segment totals recomputed from raw trace spans
+    #: (cross-validated against the ledger breakdowns at build time)
+    trace_summaries: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: per-variant Chrome trace files written when a trace_dir was given
+    trace_files: dict[str, str] = field(default_factory=dict)
 
     def bar(self, label: str) -> Bar:
         for bar in self.bars:
@@ -145,9 +153,46 @@ class scaled_devices:
         reset_device_matrix()
 
 
-def build_figure(spec: FigureSpec) -> FigureResult:
-    """Run all variants of one figure and normalise to Ensemble GPU."""
+#: Relative tolerance for the trace/ledger cross-check.  Both sides sum
+#: the same charges; only float accumulation order (actor threads) can
+#: differ, so the bound is tight.
+TRACE_CHECK_RTOL = 1e-6
+
+
+def _trace_slug(label: str) -> str:
+    return re.sub(r"[^A-Za-z0-9]+", "_", label).strip("_").lower()
+
+
+def _check_trace_consistency(
+    figure: str, label: str, breakdown: dict, summary: dict
+) -> None:
+    """Every figure bar is cross-checked against the raw trace spans."""
+    for segment in SEGMENTS:
+        ledger_ns = breakdown.get(segment, 0.0)
+        trace_ns = summary.get(segment, 0.0)
+        tol = TRACE_CHECK_RTOL * max(1.0, abs(ledger_ns))
+        if abs(ledger_ns - trace_ns) > tol:
+            raise AssertionError(
+                f"{figure}/{label}: trace spans disagree with the cost "
+                f"ledger on segment {segment!r}: ledger {ledger_ns} ns "
+                f"vs trace {trace_ns} ns"
+            )
+
+
+def build_figure(
+    spec: FigureSpec, trace_dir: Optional[str] = None
+) -> FigureResult:
+    """Run all variants of one figure and normalise to Ensemble GPU.
+
+    Every variant runs under a :class:`~repro.trace.Tracer`; its
+    four-segment :meth:`~repro.trace.Tracer.summary` is cross-validated
+    against the ledger breakdown (the Figure 3 segments) and kept on the
+    result.  With *trace_dir* set, each variant's Chrome trace JSON is
+    written next to the figure data as ``fig<id>_<variant>.trace.json``.
+    """
     bars: list[Bar] = []
+    trace_summaries: dict[str, dict[str, float]] = {}
+    trace_files: dict[str, str] = {}
     with scaled_devices(spec.compute_scale, spec.size_ratio,
                         spec.fixed_ratio):
         runs = [
@@ -166,14 +211,29 @@ def build_figure(spec: FigureSpec) -> FigureResult:
                 raw[label] = None
                 notes[label] = "no implementation"
                 continue
+            tracer = Tracer()
             try:
-                outcome = runner(device_type=device_type, **spec.params)
+                with tracing(tracer):
+                    outcome = runner(device_type=device_type, **spec.params)
             except AccUnsupportedError as exc:
                 raw[label] = None
                 notes[label] = f"compiler rejected the code: {exc}"
                 continue
             raw[label] = outcome.breakdown
             results[label] = outcome.result
+            summary = tracer.summary()
+            _check_trace_consistency(
+                spec.figure, label, outcome.breakdown, summary
+            )
+            trace_summaries[label] = summary
+            if trace_dir is not None:
+                os.makedirs(trace_dir, exist_ok=True)
+                path = os.path.join(
+                    trace_dir,
+                    f"fig{spec.figure}_{_trace_slug(label)}.trace.json",
+                )
+                write_chrome_trace(tracer, path)
+                trace_files[label] = path
     values = [r for r in (results.get(label) for label, _, _ in runs) if r is not None]
     if len(set(map(str, values))) > 1:
         raise AssertionError(
@@ -205,6 +265,8 @@ def build_figure(spec: FigureSpec) -> FigureResult:
             compute_scale=spec.compute_scale,
             size_ratio=spec.size_ratio,
         ),
+        trace_summaries=trace_summaries,
+        trace_files=trace_files,
     )
 
 
@@ -278,5 +340,7 @@ def figure_spec(figure: str) -> FigureSpec:
     return _figure_specs()[figure]
 
 
-def build_figure_by_id(figure: str) -> FigureResult:
-    return build_figure(figure_spec(figure))
+def build_figure_by_id(
+    figure: str, trace_dir: Optional[str] = None
+) -> FigureResult:
+    return build_figure(figure_spec(figure), trace_dir=trace_dir)

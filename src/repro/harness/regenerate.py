@@ -2,15 +2,21 @@
 
 Run as::
 
-    python -m repro.harness.regenerate
+    python -m repro.harness.regenerate [--trace-dir DIR]
 
 This is the same code path the benchmark suite uses; the output is the
 source of EXPERIMENTS.md's measured numbers.  Everything is priced by
 the deterministic cost model, so the report is byte-identical across
-machines and runs.
+machines and runs.  With ``--trace-dir`` every figure variant's Chrome
+trace (Perfetto-loadable JSON) is written next to the report data, and
+each figure's segment totals are cross-checked against the raw spans.
 """
 
 from __future__ import annotations
+
+import argparse
+import os
+from typing import Optional
 
 from ..apps import lud
 from ..metrics import render_table1
@@ -25,8 +31,11 @@ def regenerate_table1() -> str:
     return render_table1()
 
 
-def regenerate_figures() -> list[str]:
-    return [render_figure(build_figure_by_id(figure)) for figure in FIGURES]
+def regenerate_figures(trace_dir: Optional[str] = None) -> list[str]:
+    return [
+        render_figure(build_figure_by_id(figure, trace_dir=trace_dir))
+        for figure in FIGURES
+    ]
 
 
 def regenerate_figure4(n: int = 32) -> str:
@@ -61,7 +70,7 @@ def regenerate_movability_ablation(n: int = 32) -> str:
     )
 
 
-def regenerate_all() -> str:
+def regenerate_all(trace_dir: Optional[str] = None) -> str:
     parts = [
         "=" * 72,
         "Table 1: difference between single-threaded and concurrent code",
@@ -69,7 +78,7 @@ def regenerate_all() -> str:
         regenerate_table1(),
         "",
     ]
-    for text in regenerate_figures():
+    for text in regenerate_figures(trace_dir):
         parts += ["=" * 72, text, ""]
     parts += ["=" * 72, regenerate_figure4(), ""]
     parts += ["=" * 72, regenerate_movability_ablation(), ""]
@@ -77,7 +86,21 @@ def regenerate_all() -> str:
 
 
 def main() -> None:  # pragma: no cover - exercised via CLI
-    print(regenerate_all())
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's evaluation section"
+    )
+    parser.add_argument(
+        "--trace-dir",
+        default=None,
+        help="also write per-variant Chrome trace JSON files here "
+        "(load them at https://ui.perfetto.dev)",
+    )
+    args = parser.parse_args()
+    if args.trace_dir is not None and (
+        os.path.exists(args.trace_dir) and not os.path.isdir(args.trace_dir)
+    ):
+        parser.error(f"--trace-dir {args.trace_dir!r} is not a directory")
+    print(regenerate_all(trace_dir=args.trace_dir))
 
 
 if __name__ == "__main__":  # pragma: no cover

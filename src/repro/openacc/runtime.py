@@ -168,7 +168,15 @@ class _AccExecutor(Interpreter):
             runner = self.compiled_kernels.kernel_runner(region.kernel_name)
             item_ops = runner.run_range(args, [gsz_padded], [lsz])
             ns = self.device.spec.kernel_ns(item_ops, [gsz_padded], [lsz])
-            self.context.charge("kernel", ns)
+            start = self.device.schedule_ns(self.context.clock.now_ns, ns)
+            self.context.charge(
+                "kernel",
+                ns,
+                name=f"acc:{region.kernel_name}",
+                track=f"device/{self.device.name}",
+                ts_ns=start,
+                args={"global_size": gsz_padded, "local_size": lsz},
+            )
             with self.context.ledger._lock:
                 self.context.ledger.kernel_launches += 1
 
@@ -212,7 +220,15 @@ class _AccExecutor(Interpreter):
         runner = self.compiled_kernels.kernel_runner(region.kernel_name)
         item_ops = runner.run_range(args, [gangs], [1])
         ns = self.device.spec.kernel_ns(item_ops, [gangs], [1])
-        self.context.charge("kernel", ns)
+        start = self.device.schedule_ns(self.context.clock.now_ns, ns)
+        self.context.charge(
+            "kernel",
+            ns,
+            name=f"acc:{region.kernel_name}",
+            track=f"device/{self.device.name}",
+            ts_ns=start,
+            args={"gangs": gangs},
+        )
         with self.context.ledger._lock:
             self.context.ledger.kernel_launches += 1
         self.queue.enqueue_read_buffer(partial, partial_host)
@@ -274,7 +290,9 @@ class AccProgram:
         executor = _AccExecutor(self.acc, device, context, queue)
         value = executor.call(function, args)
         host_ns = executor.ops / HOST_OPS_PER_NS
-        context.charge("host", host_ns)
+        context.charge(
+            "host", host_ns, name="acc.host", args={"ops": executor.ops}
+        )
         return AccResult(
             value=value,
             ledger=context.ledger,

@@ -15,6 +15,7 @@ import threading
 from typing import Iterator, Optional, Sequence
 
 from ..errors import CLInvalidValue
+from ..trace import current_tracer
 from .costmodel import CostLedger, SimClock
 from .platform import Device, Platform
 
@@ -67,16 +68,44 @@ class Context:
     def has_device(self, device: Device) -> bool:
         return device in self.devices
 
-    def charge(self, category: str, ns: float) -> None:
-        """Record *ns* of *category* cost on clock and ledger."""
-        self.clock.advance(ns)
-        self.ledger.charge(category, ns)
+    def charge(
+        self,
+        category: str,
+        ns: float,
+        *,
+        name: Optional[str] = None,
+        track: Optional[str] = None,
+        ts_ns: Optional[float] = None,
+        args: Optional[dict] = None,
+    ) -> None:
+        """Record *ns* of *category* cost on clock and ledger.
 
-    def charge_api_call(self, device: Optional[Device] = None) -> None:
+        Every ledger charge in the substrate funnels through here, so
+        the active tracer sees a cost span for each — which is what
+        makes :meth:`repro.trace.Tracer.summary` agree with the ledger
+        breakdown by construction.  The keyword arguments only refine
+        the emitted span (label, track, device-timeline timestamp).
+        """
+        now = self.clock.advance(ns)
+        self.ledger.charge(category, ns)
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.cost_span(
+                category,
+                ns,
+                name=name or category,
+                track=track or f"host/context-{self.id}",
+                ts_ns=now - ns if ts_ns is None else ts_ns,
+                args=args,
+            )
+
+    def charge_api_call(
+        self, device: Optional[Device] = None, name: str = "api_call"
+    ) -> None:
         spec = (device or self.devices[0]).spec
         with self.ledger._lock:
             self.ledger.api_calls += 1
-        self.charge("host", spec.api_call_ns)
+        self.charge("host", spec.api_call_ns, name=name)
 
     def reset_ledger(self) -> CostLedger:
         """Install and return a fresh ledger (harness: between runs)."""

@@ -33,6 +33,20 @@ class Device:
     def __init__(self, spec: DeviceSpec) -> None:
         self.spec = spec
         self.id = next(_device_ids)
+        #: End of the last command scheduled on this device (the device
+        #: timeline).  Commands from any queue on the device start no
+        #: earlier than this, so an in-order queue behind a busy device
+        #: shows queueing delay (START > SUBMIT) in its events.
+        self.busy_until_ns = 0.0
+        self._timeline_lock = threading.Lock()
+
+    def schedule_ns(self, submit_ns: float, duration_ns: float) -> float:
+        """Reserve the device for *duration_ns* starting no earlier than
+        *submit_ns*; returns the command's START timestamp."""
+        with self._timeline_lock:
+            start = max(submit_ns, self.busy_until_ns)
+            self.busy_until_ns = start + duration_ns
+            return start
 
     @property
     def name(self) -> str:

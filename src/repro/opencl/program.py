@@ -54,7 +54,12 @@ class Program:
             except CLBuildProgramFailure as exc:
                 self.build_log = exc.build_log
                 raise
-            self.context.charge("host", device.spec.compile_ns)
+            self.context.charge(
+                "host",
+                device.spec.compile_ns,
+                name="build_program",
+                args={"device": device.name},
+            )
             self._built[device.id] = compiled
             self.build_log = "build succeeded"
         return self

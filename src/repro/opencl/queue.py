@@ -20,6 +20,7 @@ from ..errors import (
     CLInvalidValue,
     CLInvalidWorkGroupSize,
 )
+from ..trace import current_tracer
 from .context import Context
 from .memory import Buffer
 from .platform import Device
@@ -34,18 +35,37 @@ NDRANGE_KERNEL = "NDRANGE_KERNEL"
 
 
 class Event:
-    """Profiling record of one enqueued command."""
+    """Profiling record of one enqueued command.
+
+    Carries the four OpenCL profiling timestamps distinctly: QUEUED is
+    when the host enqueued the command, SUBMIT when the (in-order,
+    immediately flushed) queue handed it to the device — the same
+    instant here — and START when the device actually began it, which
+    is later than SUBMIT whenever the device was still busy with
+    earlier work (queueing delay).  END = START + duration.
+    """
 
     def __init__(
-        self, command: str, category: str, queued_ns: float, duration_ns: float
+        self,
+        command: str,
+        category: str,
+        queued_ns: float,
+        duration_ns: float,
+        submit_ns: Optional[float] = None,
+        start_ns: Optional[float] = None,
     ) -> None:
         self.id = next(_event_ids)
         self.command = command
         self.category = category  # 'h2d' | 'd2h' | 'kernel'
         self.queued_ns = queued_ns
-        self.submit_ns = queued_ns
-        self.start_ns = queued_ns
-        self.end_ns = queued_ns + duration_ns
+        self.submit_ns = queued_ns if submit_ns is None else submit_ns
+        self.start_ns = self.submit_ns if start_ns is None else start_ns
+        self.end_ns = self.start_ns + duration_ns
+
+    @property
+    def queue_delay_ns(self) -> float:
+        """Time the command waited for the device (START - SUBMIT)."""
+        return self.start_ns - self.submit_ns
 
     @property
     def duration_ns(self) -> float:
@@ -83,9 +103,26 @@ class CommandQueue:
 
     # -- helpers -----------------------------------------------------------
 
-    def _record(self, command: str, category: str, ns: float) -> Event:
-        event = Event(command, category, self.context.clock.now_ns, ns)
-        self.context.charge(category, ns)
+    def _record(
+        self, command: str, category: str, ns: float, **span_args
+    ) -> Event:
+        queued = self.context.clock.now_ns
+        start = self.device.schedule_ns(queued, ns)
+        event = Event(
+            command, category, queued, ns, submit_ns=queued, start_ns=start
+        )
+        self.context.charge(
+            category,
+            ns,
+            name=command,
+            track=f"device/{self.device.name}",
+            ts_ns=start,
+            args=dict(
+                span_args,
+                queued_ns=queued,
+                queue_delay_ns=event.queue_delay_ns,
+            ),
+        )
         self.events.append(event)
         return event
 
@@ -110,7 +147,10 @@ class CommandQueue:
         ns = self.device.spec.transfer_ns(buf.nbytes, to_device=True)
         with self.context.ledger._lock:
             self.context.ledger.bytes_to_device += buf.nbytes
-        return self._record(WRITE_BUFFER, "h2d", ns)
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.count("bytes.to_device", buf.nbytes)
+        return self._record(WRITE_BUFFER, "h2d", ns, nbytes=buf.nbytes)
 
     def enqueue_read_buffer(self, buf: Buffer, host_out: list) -> Event:
         """Copy the device buffer back into *host_out* (device -> host)."""
@@ -124,7 +164,10 @@ class CommandQueue:
         ns = self.device.spec.transfer_ns(buf.nbytes, to_device=False)
         with self.context.ledger._lock:
             self.context.ledger.bytes_from_device += buf.nbytes
-        return self._record(READ_BUFFER, "d2h", ns)
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.count("bytes.from_device", buf.nbytes)
+        return self._record(READ_BUFFER, "d2h", ns, nbytes=buf.nbytes)
 
     def enqueue_copy_buffer(self, src: Buffer, dst: Buffer) -> Event:
         """Device-to-device copy inside the context (no host link cost;
@@ -174,7 +217,14 @@ class CommandQueue:
         ns = self.device.spec.kernel_ns(item_ops, gsz, lsz)
         with self.context.ledger._lock:
             self.context.ledger.kernel_launches += 1
-        return self._record(NDRANGE_KERNEL, "kernel", ns)
+        return self._record(
+            NDRANGE_KERNEL,
+            "kernel",
+            ns,
+            kernel=kernel.name,
+            global_size=list(gsz),
+            local_size=list(lsz),
+        )
 
     # -- lifecycle -----------------------------------------------------------
 

@@ -27,6 +27,7 @@ from typing import Any, Iterable, Optional, Sequence
 from ..errors import RuntimeFault
 from ..opencl.memory import Buffer
 from ..opencl.queue import CommandQueue
+from ..trace import current_tracer
 
 _array_ids = itertools.count(1)
 
@@ -147,21 +148,30 @@ class ManagedArray:
         (the lazy-evaluation win).  ``copy=False`` allocates without the
         host->device transfer — used for buffers the kernel only writes,
         matching what hand-written OpenCL host code does."""
+        tracer = current_tracer()
         if self._device_valid and self._buffer is not None:
             if self._buffer.context is queue.context:
+                if tracer.enabled:
+                    tracer.count("residency.hit")
                 self._queue = queue
                 return self._buffer
             # Different context: pull back through the old link first
             # (OpenCL moves data within one context, not across contexts —
             # paper Section 6.2.3).
+            if tracer.enabled:
+                tracer.count("residency.cross_context")
             self._sync_host_from_device()
             self._release_buffer()
         if not self._host_valid:
             raise RuntimeFault("array has neither a valid host nor device copy")
         buf = Buffer(queue.context, len(self._flat), self.dtype)
         if copy:
+            if tracer.enabled:
+                tracer.count("residency.miss")
             queue.enqueue_write_buffer(buf, self._flat)
         else:
+            if tracer.enabled:
+                tracer.count("residency.alloc")
             buf.data[:] = self._flat  # contents land with the kernel write
         self._buffer = buf
         self._queue = queue
@@ -194,6 +204,9 @@ class ManagedArray:
         if not self._host_valid:
             if len(self._flat) != self._buffer.n_elements:
                 self._flat = [_ZERO[self.dtype]] * self._buffer.n_elements
+            tracer = current_tracer()
+            if tracer.enabled:
+                tracer.count("residency.readback")
             self._queue.enqueue_read_buffer(self._buffer, self._flat)
             self._host_valid = True
 

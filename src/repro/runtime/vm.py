@@ -29,6 +29,7 @@ from ..kir.interp import c_idiv, c_imod
 from ..opencl import CostLedger
 from ..opencl.context import current_clock
 from ..opencl.program import Program
+from ..trace import current_tracer
 from ..actors.actor import Actor, Stage, StopBehaviour
 from ..actors.channel import InPort, OutPort, connect
 from .oclenv import get_environment
@@ -142,10 +143,25 @@ class EnsembleVM:
 
     # -- cost accounting ---------------------------------------------------
 
-    def charge(self, instructions: int) -> None:
+    def charge(
+        self, instructions: int, actor: Optional[VMActor] = None
+    ) -> None:
         ns = instructions * BYTECODE_NS
-        self.clock.advance(ns)
+        now = self.clock.advance(ns)
         self.ledger.charge("host", ns)
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.cost_span(
+                "host",
+                ns,
+                name="vm.bytecode",
+                track=self._track(actor),
+                ts_ns=now - ns,
+                args={"instructions": instructions},
+            )
+
+    def _track(self, actor: Optional[VMActor]) -> str:
+        return f"vm/{actor.name if actor is not None else self.stage.name}"
 
     # -- the interpreter -----------------------------------------------------
 
@@ -294,7 +310,7 @@ class EnsembleVM:
                 else:
                     raise VMError(f"unknown opcode {op!r}")
         finally:
-            self.charge(executed)
+            self.charge(executed, actor)
         return None
 
     # -- operations ----------------------------------------------------------
@@ -434,8 +450,18 @@ class EnsembleVM:
         rate the interpreted single-threaded/OpenACC hosts are priced
         at: ~6 simple ops per element at 10 ops/ns)."""
         ns = 0.6 * elements
-        self.clock.advance(ns)
+        now = self.clock.advance(ns)
         self.ledger.charge("host", ns)
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.cost_span(
+                "host",
+                ns,
+                name="vm.native_fill",
+                track=f"vm/{self.stage.name}",
+                ts_ns=now - ns,
+                args={"elements": elements},
+            )
 
     def _print(self, text: str) -> None:
         with self._out_lock:
@@ -446,6 +472,22 @@ class EnsembleVM:
     # -- OpenCL dispatch (the invokenative wrappers) ---------------------
 
     def _dispatch_kernel(
+        self, actor: VMActor, plan: KernelPlan, frame: list
+    ) -> None:
+        tracer = current_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                f"vm.dispatch:{plan.kernel_name}",
+                track=self._track(actor),
+                category="vm",
+                kernel=plan.kernel_name,
+                device_type=plan.device_type,
+            ):
+                self._dispatch_kernel_inner(actor, plan, frame)
+        else:
+            self._dispatch_kernel_inner(actor, plan, frame)
+
+    def _dispatch_kernel_inner(
         self, actor: VMActor, plan: KernelPlan, frame: list
     ) -> None:
         request = frame[plan.req_slot]
@@ -500,7 +542,12 @@ class EnsembleVM:
         if not groupsize or all(g == 0 for g in groupsize):
             groupsize = None
         # Host-side wrapper overhead for the automated setup calls.
-        env.context.charge("host", spec_ns * (1 + len(plan.params)))
+        env.context.charge(
+            "host",
+            spec_ns * (1 + len(plan.params)),
+            name="vm.dispatch_setup",
+            args={"kernel": plan.kernel_name, "params": len(plan.params)},
+        )
         queue.enqueue_nd_range_kernel(kernel, worksize, groupsize)
 
         for pname in plan.written_params:

@@ -1,0 +1,32 @@
+"""Unified tracing layer: spans + counters over the simulated timeline.
+
+Enable tracing around any measured run and read the Figure 3 breakdown
+straight off the raw spans::
+
+    from repro.trace import tracing
+    from repro.trace.export import write_chrome_trace
+
+    with tracing() as tr:
+        outcome = matmul.run_ensemble(n=32)
+    assert tr.summary() == outcome.breakdown     # cross-checked in CI
+    write_chrome_trace(tr, "matmul.trace.json")  # load in Perfetto
+"""
+
+from .export import (  # noqa: F401
+    chrome_trace,
+    chrome_trace_events,
+    write_chrome_trace,
+)
+from .tracer import (  # noqa: F401
+    COST_CATEGORIES,
+    NULL_TRACER,
+    CounterSample,
+    NullTracer,
+    SEGMENT_OF,
+    Span,
+    Tracer,
+    current_tracer,
+    set_tracer,
+    thread_track,
+    tracing,
+)

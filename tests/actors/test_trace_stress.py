@@ -1,0 +1,161 @@
+"""Tracing under load: nesting, timeline sanity, zero perturbation.
+
+Runs busy actor topologies and full kernel benchmarks with a live
+tracer and checks the recorded timeline is structurally sound — and
+that the default no-op tracer changes nothing about the results.
+"""
+
+import pytest
+
+from repro.actors import Actor, InPort, OutPort, Stage, connect
+from repro.apps import matmul
+from repro.trace import Tracer, tracing
+
+
+def assert_well_nested(spans):
+    """Every pair of spans on one track is disjoint or nested."""
+    for i, a in enumerate(spans):
+        for b in spans[i + 1:]:
+            overlap = max(a.ts_ns, b.ts_ns) < min(a.end_ns, b.end_ns)
+            if not overlap:
+                continue
+            nested = (
+                (a.ts_ns <= b.ts_ns and b.end_ns <= a.end_ns)
+                or (b.ts_ns <= a.ts_ns and a.end_ns <= b.end_ns)
+            )
+            assert nested, f"overlapping, non-nested spans: {a} / {b}"
+
+
+class Relay(Actor):
+    rx = InPort(int, buffer=8)
+    tx = OutPort(int)
+
+    def behaviour(self) -> None:
+        self.tx.send(self.rx.receive() + 1)
+
+
+class Source(Actor):
+    tx = OutPort(int)
+
+    def __init__(self, count: int) -> None:
+        super().__init__()
+        self.remaining = count
+
+    def behaviour(self) -> None:
+        if self.remaining == 0:
+            self.stop()
+        self.tx.send(self.remaining)
+        self.remaining -= 1
+
+
+class Sink(Actor):
+    rx = InPort(int, buffer=8)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.received = []
+
+    def behaviour(self) -> None:
+        self.received.append(self.rx.receive())
+
+
+def run_traced_pipeline(n=100, relays=4):
+    stage = Stage()
+    source = stage.spawn(Source(n))
+    chain = [stage.spawn(Relay()) for _ in range(relays)]
+    sink = stage.spawn(Sink())
+    for a, b in zip([source] + chain, chain + [sink]):
+        connect(a.tx, b.rx)
+    tracer = Tracer()
+    with tracing(tracer):
+        stage.run(60)
+    assert len(sink.received) == n
+    assert sorted(sink.received) == sorted(
+        v + relays for v in range(1, n + 1)
+    )
+    return tracer
+
+
+class TestPipelineStress:
+    def test_spans_well_nested_per_track(self):
+        tracer = run_traced_pipeline()
+        thread_tracks = [
+            t for t in tracer.tracks() if t.startswith("thread/")
+        ]
+        assert thread_tracks
+        for track in thread_tracks:
+            assert_well_nested(tracer.spans_on(track))
+
+    def test_behaviour_and_channel_spans_recorded(self):
+        tracer = run_traced_pipeline(n=20, relays=2)
+        names = {s.name for s in tracer.spans}
+        assert any(n.startswith("behaviour:Relay") for n in names)
+        assert any(n.startswith("send:") and n.endswith(".tx")
+                   for n in names)
+        assert any(n.startswith("receive:") and n.endswith(".rx")
+                   for n in names)
+
+    def test_mailbox_counters_never_negative(self):
+        tracer = run_traced_pipeline()
+        mailbox = [
+            s for s in tracer.counter_samples
+            if s.name.startswith("mailbox.")
+        ]
+        assert mailbox, "no mailbox depth samples recorded"
+        for sample in mailbox:
+            assert sample.value >= 0.0, sample
+        # and they drain: every mailbox ends empty
+        finals = {}
+        for sample in mailbox:
+            finals[sample.name] = sample.value
+        assert all(v == 0.0 for v in finals.values())
+
+    def test_all_durations_non_negative(self):
+        tracer = run_traced_pipeline()
+        for span in tracer.spans:
+            assert span.dur_ns >= 0.0, span
+
+
+class TestKernelRunTimeline:
+    def test_device_tracks_are_serial_and_monotonic(self):
+        tracer = Tracer()
+        with tracing(tracer):
+            matmul.run_actors(n=16)
+        device_tracks = [
+            t for t in tracer.tracks() if t.startswith("device/")
+        ]
+        assert device_tracks
+        for track in device_tracks:
+            spans = sorted(tracer.spans_on(track), key=lambda s: s.ts_ns)
+            assert spans
+            for prev, cur in zip(spans, spans[1:]):
+                assert cur.ts_ns >= prev.end_ns - 1e-9, (
+                    f"{track}: {cur} begins before {prev} ends"
+                )
+
+    def test_cost_spans_only_on_cost_categories(self):
+        tracer = Tracer()
+        with tracing(tracer):
+            matmul.run_actors(n=16)
+        for span in tracer.spans:
+            if span.cost:
+                assert span.category in {"h2d", "d2h", "kernel", "host"}
+            assert span.dur_ns >= 0.0
+
+
+class TestNoOpTracerIsFree:
+    def test_untraced_run_identical_to_traced_run(self):
+        """Tracing must observe, never perturb: the result and the
+        priced breakdown are identical with and without a tracer."""
+        untraced = matmul.run_ensemble(n=16)
+        with tracing():
+            traced = matmul.run_ensemble(n=16)
+        assert untraced.result == traced.result
+        assert untraced.breakdown == traced.breakdown
+
+    def test_actor_run_identical_with_and_without_tracer(self):
+        untraced = matmul.run_actors(n=16)
+        with tracing():
+            traced = matmul.run_actors(n=16)
+        assert untraced.result == traced.result
+        assert untraced.breakdown == traced.breakdown

@@ -1,0 +1,82 @@
+"""Trace/figure consistency: Figure 3 segments from raw spans.
+
+For every app the four-segment breakdown the harness reports must equal
+the sum of the tracer's raw cost spans — the tracer observes the same
+charge sites the ledgers do, so any disagreement means a charge was
+traced twice, or not at all.
+"""
+
+import json
+
+import pytest
+
+from repro.harness import build_figure_by_id, figure_spec, scaled_devices
+from repro.trace import SEGMENT_OF, Tracer, tracing
+
+pytestmark = pytest.mark.trace
+
+FIGURES = ("3a", "3b", "3c", "3d", "3e")
+SEGMENTS = tuple(SEGMENT_OF.values())
+
+
+def run_traced(spec, runner, device_type="GPU"):
+    tracer = Tracer()
+    with scaled_devices(spec.compute_scale, spec.size_ratio,
+                        spec.fixed_ratio):
+        with tracing(tracer):
+            outcome = runner(device_type=device_type, **spec.params)
+    return outcome, tracer
+
+
+@pytest.mark.parametrize("figure", FIGURES)
+def test_ensemble_summary_matches_breakdown(figure):
+    spec = figure_spec(figure)
+    outcome, tracer = run_traced(spec, spec.ensemble)
+    summary = tracer.summary()
+    for segment in SEGMENTS:
+        assert summary[segment] == pytest.approx(
+            outcome.breakdown[segment], rel=1e-6, abs=1e-6
+        ), f"{figure} ensemble segment {segment}"
+
+
+@pytest.mark.parametrize("figure", ("3a", "3d"))
+def test_c_opencl_summary_matches_breakdown(figure):
+    spec = figure_spec(figure)
+    outcome, tracer = run_traced(spec, spec.c_opencl)
+    summary = tracer.summary()
+    for segment in SEGMENTS:
+        assert summary[segment] == pytest.approx(
+            outcome.breakdown[segment], rel=1e-6, abs=1e-6
+        ), f"{figure} c-opencl segment {segment}"
+
+
+def test_cpu_variant_also_consistent():
+    spec = figure_spec("3a")
+    outcome, tracer = run_traced(spec, spec.ensemble, device_type="CPU")
+    assert tracer.summary() == pytest.approx(outcome.breakdown, rel=1e-6)
+
+
+def test_build_figure_cross_checks_and_writes_traces(tmp_path):
+    """The harness runs its own cross-check per variant and, with a
+    trace dir, writes one Perfetto-loadable JSON file per variant."""
+    result = build_figure_by_id("3a", trace_dir=str(tmp_path))
+    assert set(result.trace_summaries) == {
+        "Ensemble GPU", "C-OpenCL GPU", "C-OpenACC GPU",
+        "Ensemble CPU", "C-OpenCL CPU", "C-OpenACC CPU",
+    }
+    for label, summary in result.trace_summaries.items():
+        bar = result.bar(label)
+        assert sum(summary.values()) == pytest.approx(
+            bar.raw_total_ns, rel=1e-6
+        ), label
+    assert set(result.trace_files) == set(result.trace_summaries)
+    for label, path in result.trace_files.items():
+        data = json.loads(open(path).read())
+        events = data["traceEvents"]
+        assert events, f"{label}: empty trace"
+        for event in events:
+            for key in ("ph", "ts", "pid", "tid", "name"):
+                assert key in event
+        assert data["otherData"]["summary_ns"] == pytest.approx(
+            result.trace_summaries[label]
+        )

@@ -1,0 +1,181 @@
+"""Tracer unit behaviour: spans, counters, summary, installation."""
+
+import threading
+
+import pytest
+
+from repro.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    current_tracer,
+    set_tracer,
+    thread_track,
+    tracing,
+)
+
+
+class TestCostSpans:
+    def test_summary_sums_cost_spans_by_category(self):
+        tr = Tracer(clock_fn=lambda: 0.0)
+        tr.cost_span("h2d", 10.0)
+        tr.cost_span("h2d", 5.0)
+        tr.cost_span("d2h", 3.0)
+        tr.cost_span("kernel", 100.0)
+        tr.cost_span("host", 7.0)
+        assert tr.summary() == {
+            "to_device": 15.0,
+            "from_device": 3.0,
+            "kernel": 100.0,
+            "overhead": 7.0,
+        }
+
+    def test_structural_spans_do_not_contribute_to_summary(self):
+        tr = Tracer(clock_fn=lambda: 0.0)
+        with tr.span("behaviour", track="actor/a"):
+            pass
+        assert sum(tr.summary().values()) == 0.0
+        assert len(tr.spans) == 1
+        assert not tr.spans[0].cost
+
+    def test_unknown_category_rejected(self):
+        tr = Tracer(clock_fn=lambda: 0.0)
+        with pytest.raises(ValueError):
+            tr.cost_span("bogus", 1.0)
+
+    def test_explicit_timestamp_and_args_recorded(self):
+        tr = Tracer(clock_fn=lambda: 50.0)
+        tr.cost_span("kernel", 10.0, name="k", track="device/d",
+                     ts_ns=30.0, args={"launch": 1})
+        span = tr.spans[0]
+        assert span.ts_ns == 30.0
+        assert span.end_ns == 40.0
+        assert span.args == {"launch": 1}
+        # Without an explicit ts the span ends at "now".
+        tr.cost_span("kernel", 10.0)
+        assert tr.spans[1].ts_ns == 40.0
+        assert tr.spans[1].end_ns == 50.0
+
+
+class TestStructuralSpans:
+    def test_span_records_clock_interval(self):
+        now = [100.0]
+        tr = Tracer(clock_fn=lambda: now[0])
+        with tr.span("work", track="t", category="x", detail=3):
+            now[0] = 250.0
+        span = tr.spans[0]
+        assert (span.ts_ns, span.dur_ns) == (100.0, 150.0)
+        assert span.category == "x"
+        assert span.args == {"detail": 3}
+
+    def test_span_recorded_even_when_body_raises(self):
+        tr = Tracer(clock_fn=lambda: 0.0)
+        with pytest.raises(RuntimeError):
+            with tr.span("work", track="t"):
+                raise RuntimeError("boom")
+        assert [s.name for s in tr.spans] == ["work"]
+
+
+class TestCounters:
+    def test_counters_accumulate_and_sample(self):
+        now = [0.0]
+        tr = Tracer(clock_fn=lambda: now[0])
+        assert tr.count("hits") == 1.0
+        now[0] = 5.0
+        assert tr.count("hits", 2.0) == 3.0
+        assert tr.counter("hits") == 3.0
+        assert tr.counter("missing") == 0.0
+        assert [s.value for s in tr.counter_samples] == [1.0, 3.0]
+        assert [s.ts_ns for s in tr.counter_samples] == [0.0, 5.0]
+        assert tr.counters() == {"hits": 3.0}
+
+
+class TestTracks:
+    def test_tracks_first_seen_order_and_spans_on(self):
+        tr = Tracer(clock_fn=lambda: 0.0)
+        tr.cost_span("h2d", 1.0, track="device/gpu")
+        tr.cost_span("host", 1.0, track="host/api")
+        tr.cost_span("d2h", 1.0, track="device/gpu")
+        assert tr.tracks() == ["device/gpu", "host/api"]
+        assert len(tr.spans_on("device/gpu")) == 2
+
+    def test_thread_track_names_current_thread(self):
+        out = {}
+
+        def body():
+            out["track"] = thread_track()
+
+        t = threading.Thread(target=body, name="stage/actor-1")
+        t.start()
+        t.join()
+        assert out["track"] == "thread/stage/actor-1"
+
+
+class TestInstallation:
+    def test_default_is_null_tracer(self):
+        assert current_tracer() is NULL_TRACER
+        assert not current_tracer().enabled
+
+    def test_tracing_installs_and_restores(self):
+        before = current_tracer()
+        with tracing() as tr:
+            assert current_tracer() is tr
+            assert tr.enabled
+        assert current_tracer() is before
+
+    def test_tracing_restores_on_error(self):
+        before = current_tracer()
+        with pytest.raises(RuntimeError):
+            with tracing():
+                raise RuntimeError("boom")
+        assert current_tracer() is before
+
+    def test_set_tracer_returns_previous(self):
+        tr = Tracer(clock_fn=lambda: 0.0)
+        prev = set_tracer(tr)
+        try:
+            assert current_tracer() is tr
+        finally:
+            assert set_tracer(prev) is tr
+
+    def test_null_tracer_is_inert(self):
+        null = NullTracer()
+        null.cost_span("h2d", 1.0)
+        with null.span("x", track="t"):
+            pass
+        assert null.count("c") == 0.0
+        assert null.summary() == {
+            "to_device": 0.0,
+            "from_device": 0.0,
+            "kernel": 0.0,
+            "overhead": 0.0,
+        }
+        assert null.tracks() == []
+        assert null.spans_on("t") == []
+
+
+class TestThreadSafety:
+    def test_concurrent_recording_loses_nothing(self):
+        tr = Tracer(clock_fn=lambda: 0.0)
+
+        def worker(i):
+            for _ in range(200):
+                tr.cost_span("host", 1.0, track=f"t/{i}")
+                tr.count("n")
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(tr.spans) == 800
+        assert tr.counter("n") == 800.0
+        assert tr.summary()["overhead"] == pytest.approx(800.0)
+
+
+class TestSpanDataclass:
+    def test_end_ns(self):
+        assert Span("a", "t", 10.0, 5.0).end_ns == 15.0
