@@ -1,0 +1,217 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark of the host execution path.
+
+Times real (not simulated) seconds for the five evaluation apps, in two
+configurations:
+
+* **legacy** — the pre-overhaul host path: per-item interpretation
+  (``run_range`` + Python-side warp folding) with the kernel-compile
+  cache emptied before every run, so each run recompiles its kernels;
+* **optimized** — the current default: content-addressed compile cache
+  (:mod:`repro.kcache`) warm across runs, batched warp folding, and the
+  numpy vectorised tier where eligible.
+
+Both configurations produce byte-identical *simulated* results — the
+script asserts checksum and total-ns agreement on every run — so the
+comparison isolates host wall-clock cost.
+
+Usage::
+
+    python benchmarks/bench_wallclock.py            # full sizes
+    python benchmarks/bench_wallclock.py --smoke    # CI-sized
+    python benchmarks/bench_wallclock.py --smoke --check  # + regression gate
+
+Results merge into ``BENCH_wallclock.json`` next to this script, keyed
+by mode, so the committed file can hold both the full trajectory and
+the smoke baseline the CI gate compares against (``--check`` fails when
+any app's optimized time regresses more than 2x against the committed
+baseline for the same mode).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import kcache  # noqa: E402
+from repro.apps import docrank, lud, mandelbrot, matmul, reduction  # noqa: E402
+from repro.harness import scaled_devices  # noqa: E402
+from repro.opencl import dispatch  # noqa: E402
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_wallclock.json"
+
+#: Maximum tolerated slowdown vs the committed baseline (--check).
+REGRESSION_FACTOR = 2.0
+
+# Sizes are chosen so the full mode stresses the regimes the overhaul
+# targets: repeated identical-kernel launches (docrank, the LUD actor
+# pipeline) and large NDRanges (matmul).  Smoke sizes keep CI under a
+# few seconds while still exercising every tier.
+WORKLOADS = [
+    {
+        "name": "matmul",
+        "run": lambda p: matmul.run_api(p["n"]),
+        "full": {"n": 96},
+        "smoke": {"n": 48},
+    },
+    {
+        "name": "mandelbrot",
+        "run": lambda p: mandelbrot.run_api(p["w"], p["h"], p["iters"]),
+        "full": {"w": 192, "h": 192, "iters": 60},
+        "smoke": {"w": 48, "h": 48, "iters": 40},
+    },
+    {
+        "name": "lud_pipeline",
+        "run": lambda p: lud.run_actors(p["n"]),
+        "full": {"n": 256},
+        "smoke": {"n": 48},
+    },
+    {
+        "name": "docrank",
+        "run": lambda p: docrank.run_api(p["docs"], p["terms"], p["repeats"]),
+        "full": {"docs": 2048, "terms": 64, "repeats": 16},
+        "smoke": {"docs": 512, "terms": 32, "repeats": 4},
+    },
+    {
+        "name": "reduction",
+        "run": lambda p: reduction.run_api(p["n"]),
+        "full": {"n": 65536},
+        "smoke": {"n": 8192},
+    },
+]
+
+
+def _timed_run(run, params, *, legacy: bool) -> tuple[float, object]:
+    """One measured run; returns (seconds, RunOutcome)."""
+    dispatch.set_legacy_execution(legacy)
+    if legacy:
+        # Pre-overhaul behaviour: every run recompiles its kernels.
+        kcache.clear()
+    with scaled_devices(0.08, 1.0):
+        start = time.perf_counter()
+        outcome = run(params)
+        elapsed = time.perf_counter() - start
+    return elapsed, outcome
+
+
+def bench_workload(workload: dict, mode: str, reps: int) -> dict:
+    params = workload[mode]
+    run = workload["run"]
+
+    # Warm both Python bytecode and the kernel cache before timing.
+    dispatch.set_legacy_execution(False)
+    with scaled_devices(0.08, 1.0):
+        run(params)
+
+    legacy_s, legacy_outcome = min(
+        (_timed_run(run, params, legacy=True) for _ in range(reps)),
+        key=lambda pair: pair[0],
+    )
+
+    before = kcache.stats()
+    optimized_s, outcome = min(
+        (_timed_run(run, params, legacy=False) for _ in range(reps)),
+        key=lambda pair: pair[0],
+    )
+    after = kcache.stats()
+
+    # The overhaul must not change anything the simulation reports.
+    assert outcome.result == legacy_outcome.result, workload["name"]
+    assert outcome.total_ns == legacy_outcome.total_ns, workload["name"]
+
+    return {
+        "params": params,
+        "legacy_s": round(legacy_s, 4),
+        "optimized_s": round(optimized_s, 4),
+        "speedup": round(legacy_s / optimized_s, 2),
+        "kcache": {
+            "hits": after.hits - before.hits,
+            "misses": after.misses - before.misses,
+        },
+    }
+
+
+def load_results() -> dict:
+    if RESULTS_PATH.exists():
+        with RESULTS_PATH.open() as fh:
+            return json.load(fh)
+    return {"schema": 1, "modes": {}}
+
+
+def check_regressions(results: dict, baseline: dict, mode: str) -> list[str]:
+    failures = []
+    base_apps = baseline.get("modes", {}).get(mode, {}).get("apps", {})
+    for name, entry in results.items():
+        base = base_apps.get(name)
+        if base is None:
+            continue
+        limit = base["optimized_s"] * REGRESSION_FACTOR
+        if entry["optimized_s"] > limit:
+            failures.append(
+                f"{name}: {entry['optimized_s']}s exceeds "
+                f"{REGRESSION_FACTOR}x baseline ({base['optimized_s']}s)"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized problems, single rep")
+    parser.add_argument("--check", action="store_true",
+                        help="fail on >%.0fx regression vs the committed "
+                             "baseline" % REGRESSION_FACTOR)
+    parser.add_argument("--output", default=str(RESULTS_PATH),
+                        help="result file (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    mode = "smoke" if args.smoke else "full"
+    reps = 1 if args.smoke else 3
+    baseline = load_results()
+
+    apps: dict = {}
+    print(f"mode={mode} reps={reps}")
+    print(f"{'app':<14} {'legacy':>9} {'optimized':>10} "
+          f"{'speedup':>8} {'kcache h/m':>11}")
+    try:
+        for workload in WORKLOADS:
+            entry = bench_workload(workload, mode, reps)
+            apps[workload["name"]] = entry
+            kc = entry["kcache"]
+            print(f"{workload['name']:<14} {entry['legacy_s']:>8.3f}s "
+                  f"{entry['optimized_s']:>9.3f}s {entry['speedup']:>7.2f}x "
+                  f"{kc['hits']:>6}/{kc['misses']}")
+    finally:
+        dispatch.set_legacy_execution(False)
+
+    results = load_results() if Path(args.output) == RESULTS_PATH else {
+        "schema": 1, "modes": {},
+    }
+    results["schema"] = 1
+    results.setdefault("modes", {})[mode] = {
+        "python": platform.python_version(),
+        "apps": apps,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+
+    if args.check:
+        failures = check_regressions(apps, baseline, mode)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print("regression check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

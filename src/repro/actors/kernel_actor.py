@@ -95,8 +95,11 @@ class KernelActor(Actor):
 
     def _ensure_program(self) -> Program:
         if self._program is None:
-            program = Program(self.env.context, self.source)
-            program.build([self.env.device])
+            # Shared acquisition: actors with identical source reuse the
+            # context's program binary (compile once, binary-load after).
+            program = Program.shared(
+                self.env.context, self.source, self.env.device
+            )
             self._program = program
             module = program.compiled_for(self.env.device).module
             fn = module.functions.get(self.kernel_name)

@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
-from .. import kernelc
+from .. import kcache, kernelc
 from ..opencl import CostLedger
 from ..opencl.context import current_clock
 from ..openacc.runtime import HOST_OPS_PER_NS
@@ -73,7 +73,7 @@ def run_host_c(source: str, function: str, args: list) -> tuple[Any, float]:
     Returns ``(value, simulated_ns)``.  Array arguments are mutated in
     place, exactly like C pointers.
     """
-    compiled = kernelc.build(source)
+    compiled = kcache.get_or_build(source, None, options="host")
     value, ops = compiled.call(function, args)
     return value, ops / HOST_OPS_PER_NS
 

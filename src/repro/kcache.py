@@ -1,0 +1,281 @@
+"""Content-addressed kernel compilation cache.
+
+Real OpenCL runtimes (pocl's kernel-compiler cache, vendor binary
+caches) avoid recompiling a kernel whose source, target device and
+build options were seen before.  This module reproduces that host-side
+behaviour for the simulator's own wall-clock: a compile is keyed by
+
+    hash(kernel-C source x device-spec fingerprint x build options)
+
+and the resulting :class:`~repro.kir.pycodegen.CompiledModule` is
+shared process-wide.  An optional on-disk tier persists the lowered IR
+(the simulator's analogue of a program *binary* — reloading it skips
+the whole kernel-C front end) across processes.
+
+Two layers of caching exist in the reproduction and they answer
+different questions:
+
+* **this module** dedupes the *Python-side* compilation work.  It never
+  touches the simulated clock, so routing more paths through it cannot
+  change a single reported nanosecond;
+* the **per-context binary registry** (``Context.program_binary``) is
+  what the *simulated* cost model consults: the first build of a source
+  in a context charges ``compile_ns``, later builds of the same source
+  charge only a binary-load API call — modelling
+  ``clCreateProgramWithBinary`` (see DESIGN.md appendix).
+
+Counters: every hit/miss/eviction increments module-level stats and,
+when a tracer is active, the ``kcache.*`` trace counters, so
+``Tracer.summary(with_counters=True)`` reports cache behaviour per run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, fields
+from typing import Any, Callable, Optional
+
+from .trace import current_tracer
+
+#: Bump when the IR or codegen changes shape: stale disk entries from
+#: older layouts are ignored rather than unpickled into wrong objects.
+DISK_FORMAT_VERSION = 1
+
+#: Environment variable naming the on-disk tier directory (off when
+#: unset).
+DISK_ENV_VAR = "REPRO_KCACHE_DIR"
+
+_DEFAULT_MAX_ENTRIES = 256
+
+
+@dataclass
+class KCacheStats:
+    """Cumulative cache behaviour since the last :func:`reset_stats`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    disk_hits: int = 0
+    disk_stores: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "disk_hits": self.disk_hits,
+            "disk_stores": self.disk_stores,
+        }
+
+
+_lock = threading.Lock()
+_entries: "OrderedDict[str, Any]" = OrderedDict()
+_max_entries = _DEFAULT_MAX_ENTRIES
+_disk_dir: Optional[str] = os.environ.get(DISK_ENV_VAR) or None
+_stats = KCacheStats()
+
+
+def spec_fingerprint(spec: Any) -> str:
+    """A stable identity for a device spec, *excluding* its name.
+
+    Two scaled platforms with identical numeric parameters produce the
+    same compiled artefact, so bench platforms built per run still share
+    cache entries; the display name never affects compilation.
+    """
+    if spec is None:
+        return "host"
+    parts = []
+    for f in fields(spec):
+        if f.name == "name":
+            continue
+        parts.append(f"{f.name}={getattr(spec, f.name)!r}")
+    return ";".join(parts)
+
+
+def fingerprint(source: str, spec: Any = None, options: str = "") -> str:
+    """The content-addressed cache key for one compilation."""
+    h = hashlib.sha256()
+    h.update(source.encode())
+    h.update(b"\x00")
+    h.update(spec_fingerprint(spec).encode())
+    h.update(b"\x00")
+    h.update(options.encode())
+    return h.hexdigest()
+
+
+def module_fingerprint(module: Any, spec: Any = None, options: str = "") -> str:
+    """Cache key for an already-lowered IR module (OpenACC regions)."""
+    h = hashlib.sha256()
+    h.update(pickle.dumps(module))
+    h.update(b"\x00")
+    h.update(spec_fingerprint(spec).encode())
+    h.update(b"\x00")
+    h.update(options.encode())
+    return h.hexdigest()
+
+
+def configure(
+    max_entries: Optional[int] = None, disk_dir: Optional[str] = None
+) -> None:
+    """Adjust cache limits / enable the disk tier (tests, tooling)."""
+    global _max_entries, _disk_dir
+    with _lock:
+        if max_entries is not None:
+            if max_entries < 1:
+                raise ValueError("kcache needs at least one entry")
+            _max_entries = max_entries
+        if disk_dir is not None:
+            _disk_dir = disk_dir or None
+        _evict_over_limit_locked()
+
+
+def disk_dir() -> Optional[str]:
+    return _disk_dir
+
+
+def clear() -> None:
+    """Drop every in-memory entry (the disk tier is left alone)."""
+    with _lock:
+        _entries.clear()
+
+
+def stats() -> KCacheStats:
+    with _lock:
+        return KCacheStats(**_stats.as_dict())
+
+
+def reset_stats() -> None:
+    global _stats
+    with _lock:
+        _stats = KCacheStats()
+
+
+def _count(event: str, n: int = 1) -> None:
+    tracer = current_tracer()
+    if tracer.enabled:
+        tracer.count(f"kcache.{event}", n)
+
+
+def _evict_over_limit_locked() -> None:
+    while len(_entries) > _max_entries:
+        _entries.popitem(last=False)
+        _stats.evictions += 1
+        _count("evict")
+
+
+def _disk_path(key: str) -> Optional[str]:
+    if _disk_dir is None:
+        return None
+    return os.path.join(_disk_dir, f"{key}.kbin")
+
+
+def _disk_load(key: str) -> Optional[Any]:
+    """Rebuild a CompiledModule from a persisted IR 'binary', if any."""
+    path = _disk_path(key)
+    if path is None or not os.path.exists(path):
+        return None
+    try:
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+        if payload.get("version") != DISK_FORMAT_VERSION:
+            return None
+        from .kir.pycodegen import CompiledModule
+
+        return CompiledModule(payload["module"])
+    except Exception:
+        # A corrupt or stale entry silently falls back to a fresh build.
+        return None
+
+
+def _disk_store(key: str, compiled: Any) -> None:
+    path = _disk_path(key)
+    if path is None:
+        return
+    try:
+        os.makedirs(_disk_dir, exist_ok=True)  # type: ignore[arg-type]
+        payload = {"version": DISK_FORMAT_VERSION, "module": compiled.module}
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as fh:
+            pickle.dump(payload, fh)
+        os.replace(tmp, path)
+    except Exception:
+        return
+    with _lock:
+        _stats.disk_stores += 1
+    _count("disk_store")
+
+
+def _lookup(key: str) -> Optional[Any]:
+    with _lock:
+        compiled = _entries.get(key)
+        if compiled is not None:
+            _entries.move_to_end(key)
+            _stats.hits += 1
+    if compiled is not None:
+        _count("hit")
+    return compiled
+
+
+def _insert(key: str, compiled: Any, from_disk: bool) -> None:
+    with _lock:
+        _entries[key] = compiled
+        _entries.move_to_end(key)
+        _stats.misses += 1
+        if from_disk:
+            _stats.disk_hits += 1
+        _evict_over_limit_locked()
+    _count("miss")
+    if from_disk:
+        _count("disk_hit")
+
+
+def get_or_build(
+    source: str,
+    spec: Any = None,
+    options: str = "",
+    builder: Optional[Callable[[str], Any]] = None,
+) -> Any:
+    """Return the CompiledModule for *source* on *spec*, compiling once.
+
+    Build failures propagate to the caller and are never cached.
+    """
+    key = fingerprint(source, spec, options)
+    compiled = _lookup(key)
+    if compiled is not None:
+        return compiled
+    compiled = _disk_load(key)
+    if compiled is not None:
+        _insert(key, compiled, from_disk=True)
+        return compiled
+    if builder is None:
+        from . import kernelc
+
+        builder = kernelc.build
+    compiled = builder(source)
+    _insert(key, compiled, from_disk=False)
+    _disk_store(key, compiled)
+    return compiled
+
+
+def get_or_build_module(
+    module: Any, spec: Any = None, options: str = ""
+) -> Any:
+    """Like :func:`get_or_build` for an already-lowered IR module."""
+    key = module_fingerprint(module, spec, options)
+    compiled = _lookup(key)
+    if compiled is not None:
+        return compiled
+    compiled = _disk_load(key)
+    if compiled is not None:
+        _insert(key, compiled, from_disk=True)
+        return compiled
+    from .kir import compile_module
+
+    compiled = compile_module(module)
+    _insert(key, compiled, from_disk=False)
+    _disk_store(key, compiled)
+    return compiled

@@ -1,0 +1,784 @@
+"""Vectorised batch execution of range-mode kernels (numpy backend).
+
+The scalar engine (:mod:`repro.kir.pycodegen`) executes an NDRange one
+Python work-item at a time.  For kernels whose control flow is the same
+for every work-item — straight-line code, ``if``/``else`` (handled with
+boolean masks), counted ``for`` loops with item-invariant bounds — the
+whole NDRange can instead execute as a handful of numpy array
+operations, with one array lane per work-item.  This module compiles
+such kernels into a ``__vec_<name>(args, gsz, lsz)`` function returning
+the per-item dynamic op-count *vector*, which :func:`fold_group_warps`
+reduces to the per-group warp maxima the cost model consumes.
+
+Op accounting mirrors ``_FnCompiler.block`` exactly (same per-block
+batching, the same ``+1`` / ``+2`` control-flow charges, masked where
+the scalar path is conditional), so the folded warp maxima — and hence
+every simulated nanosecond — are identical to the interpreter's
+per-item reduction; tests assert this.
+
+Eligibility is conservative: kernels containing ``while`` / early
+``return`` / ``break`` / ``continue`` / barriers / local memory / user
+function calls, ``for`` loops with item-dependent bounds, or division
+inside short-circuit or select operands (numpy evaluates both sides)
+fall back to the scalar paths.  Known semantic deltas of the vector
+tier (documented, none observable in race-free kernels): int64
+wrap-around instead of Python big ints, and same-address stores from
+multiple work-items resolve by numpy fancy-assignment order.
+
+Everything here is a wall-clock optimisation only; when numpy is not
+installed the module degrades to ``AVAILABLE = False`` and the scalar
+engine carries all execution.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional, Sequence
+
+from ..errors import KirRuntimeError
+from . import ir
+from .interp import c_idiv, c_imod
+from .pycodegen import (
+    _Emitter,
+    _MAX_DIMS,
+    _WI_VARS,
+    _kind,
+    _pad3,
+    _static_cost,
+    _stmt_cost,
+    _used_workitem_vars,
+)
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - environment without numpy
+    _np = None
+
+AVAILABLE = _np is not None
+
+_NP_DTYPE_OF = {"int": "__np.int64", "float": "__np.float64", "bool": "bool"}
+
+_ZERO = {"int": "0", "float": "0.0", "bool": "False"}
+
+#: math builtin -> numpy-side expression prefix
+_NP_MATH = {
+    "sqrt": "__np.sqrt",
+    "fabs": "__np.abs",
+    "exp": "__np.exp",
+    "log": "__np.log",
+    "sin": "__np.sin",
+    "cos": "__np.cos",
+    "tan": "__np.tan",
+    "atan": "__np.arctan",
+    "atan2": "__np.arctan2",
+    "pow": "__vpow",
+    "floor": "__np.floor",
+    "ceil": "__np.ceil",
+    "fmin": "__np.minimum",
+    "fmax": "__np.maximum",
+    "min": "__np.minimum",
+    "max": "__np.maximum",
+    "abs": "__np.abs",
+    "clamp": "__vclamp",
+}
+
+
+# -- runtime helpers (the generated code's namespace) ----------------------
+
+
+def _is_arr(x: Any) -> bool:
+    return isinstance(x, _np.ndarray)
+
+
+def _vmask(val: Any, n: int):
+    """Normalise an if-condition to a full-width boolean mask."""
+    if _is_arr(val):
+        return val
+    if val:
+        return _np.ones(n, dtype=bool)
+    return _np.zeros(n, dtype=bool)
+
+
+def _vidiv(a: Any, b: Any, m: Any):
+    """C-style integer division, mask-aware for inactive lanes."""
+    if not _is_arr(a) and not _is_arr(b):
+        return c_idiv(a, b)
+    a = _np.asarray(a)
+    b = _np.asarray(b)
+    zero = b == 0
+    if zero.any():
+        if m is None or bool((zero & m).any()):
+            raise KirRuntimeError("integer division by zero")
+        b = _np.where(zero, 1, b)
+    q = _np.abs(a) // _np.abs(b)
+    return _np.where((a < 0) == (b < 0), q, -q)
+
+
+def _vimod(a: Any, b: Any, m: Any):
+    """C-style integer remainder (sign follows the dividend)."""
+    if not _is_arr(a) and not _is_arr(b):
+        return c_imod(a, b)
+    return a - _vidiv(a, b, m) * b
+
+
+def _vfdiv(a: Any, b: Any, m: Any):
+    if not _is_arr(a) and not _is_arr(b):
+        if b == 0:
+            raise ZeroDivisionError("float division by zero")
+        return a / b
+    b = _np.asarray(b)
+    zero = b == 0
+    if zero.any():
+        if m is None or bool((zero & m).any()):
+            raise ZeroDivisionError("float division by zero")
+        b = _np.where(zero, 1.0, b)
+    return a / b
+
+
+def _int_like(x: Any) -> bool:
+    if _is_arr(x):
+        return x.dtype.kind in "bi"
+    return isinstance(x, (bool, int, _np.integer))
+
+
+def _vdiv(a: Any, b: Any, m: Any):
+    """Dynamically-typed division (mirrors ``_runtime_div``)."""
+    if _int_like(a) and _int_like(b):
+        return _vidiv(a, b, m)
+    try:
+        return _vfdiv(a, b, m)
+    except ZeroDivisionError:
+        raise KirRuntimeError("float division by zero") from None
+
+
+def _vmod(a: Any, b: Any, m: Any):
+    """Dynamically-typed modulo (mirrors ``_runtime_mod``)."""
+    if _int_like(a) and _int_like(b):
+        return _vimod(a, b, m)
+    return _vfmod(a, b, m)
+
+
+def _vfmod(a: Any, b: Any, m: Any):
+    if not _is_arr(a) and not _is_arr(b):
+        return math.fmod(a, b)
+    b = _np.asarray(b)
+    zero = b == 0
+    if zero.any():
+        if m is None or bool((zero & m).any()):
+            raise ValueError("math domain error")
+        b = _np.where(zero, 1.0, b)
+    return _np.fmod(a, b)
+
+
+def _vpow(a: Any, b: Any):
+    # math.pow always returns a float; float_power matches that.
+    return _np.float_power(a, b)
+
+
+def _vclamp(x: Any, lo: Any, hi: Any):
+    return _np.clip(x, lo, hi)
+
+
+def _vload(arr: Any, idx: Any, m: Any):
+    """Gather from a global array; inactive lanes read a safe index."""
+    if m is None or not _is_arr(idx):
+        return arr[idx]
+    return arr[_np.where(m, idx, 0)]
+
+
+def _vload2(arr: Any, rows: Any, idx: Any, m: Any):
+    """Gather each work-item's slot from its private-array row."""
+    if m is not None and _is_arr(idx):
+        idx = _np.where(m, idx, 0)
+    return arr[rows, idx]
+
+
+def _vstore(arr: Any, idx: Any, val: Any, m: Any) -> None:
+    """Scatter into a global array with sequential-store semantics."""
+    if m is None:
+        if _is_arr(idx):
+            arr[idx] = val
+        elif _is_arr(val):
+            arr[idx] = val[-1]  # every item stores here: last one wins
+        else:
+            arr[idx] = val
+        return
+    if _is_arr(idx):
+        sel = idx[m]
+        arr[sel] = val[m] if _is_arr(val) else val
+        return
+    if bool(m.any()):
+        if _is_arr(val):
+            active = val[m]
+            arr[idx] = active[-1]
+        else:
+            arr[idx] = val
+
+
+def _vstore2(arr: Any, rows: Any, idx: Any, val: Any, m: Any) -> None:
+    """Scatter into per-item private-array rows."""
+    if m is None:
+        arr[rows, idx] = val
+        return
+    r = rows[m]
+    i = idx[m] if _is_arr(idx) else idx
+    v = val[m] if _is_arr(val) else val
+    arr[r, i] = v
+
+
+def _namespace_base() -> dict[str, Any]:
+    return {
+        "__np": _np,
+        "__vmask": _vmask,
+        "__vidiv": _vidiv,
+        "__vimod": _vimod,
+        "__vdiv": _vdiv,
+        "__vmod": _vmod,
+        "__vfdiv": _vfdiv,
+        "__vfmod": _vfmod,
+        "__vpow": _vpow,
+        "__vclamp": _vclamp,
+        "__vload": _vload,
+        "__vload2": _vload2,
+        "__vstore": _vstore,
+        "__vstore2": _vstore2,
+        "__vnot": None if _np is None else _np.logical_not,
+        "__vand": None if _np is None else _np.logical_and,
+        "__vor": None if _np is None else _np.logical_or,
+        "__vsel": None if _np is None else _np.where,
+        "__kre": KirRuntimeError,
+    }
+
+
+# -- eligibility -----------------------------------------------------------
+
+
+def _unsafe_speculative(e: ir.Expr) -> bool:
+    """True if evaluating *e* on lanes that would not evaluate it in the
+    scalar engine can fault: division/modulo (zero) and array loads
+    (out-of-range index).  numpy evaluates both arms of a select and
+    both sides of ``&&``/``||``, so such expressions are only safe in
+    positions the scalar engine also evaluates unconditionally."""
+    return any(
+        (isinstance(n, ir.BinOp) and n.op in ("/", "%"))
+        or isinstance(n, ir.Index)
+        for n in ir.walk_exprs(e)
+    )
+
+
+def _variant_vars(fn: ir.Function) -> set[str]:
+    """Scalar variables whose value can differ between work-items.
+
+    Seeds: work-item ids and array loads are variant; everything
+    derived from them (or assigned under a condition, which masking
+    turns into an array) becomes variant.  Fixpoint over the body.
+    """
+    variant: set[str] = set()
+
+    def expr_variant(e: Optional[ir.Expr]) -> bool:
+        if e is None:
+            return False
+        for node in ir.walk_exprs(e):
+            if isinstance(node, ir.Var) and node.name in variant:
+                return True
+            if isinstance(node, ir.Index):
+                return True
+            if isinstance(node, ir.Call) and node.name in (
+                "get_global_id",
+                "get_local_id",
+                "get_group_id",
+            ):
+                return True
+        return False
+
+    changed = True
+    while changed:
+        changed = False
+
+        def visit(stmts: Sequence[ir.Stmt], conditional: bool) -> None:
+            nonlocal changed
+            for st in stmts:
+                if isinstance(st, ir.Decl):
+                    if isinstance(st.type, ir.ArrayType):
+                        continue
+                    if (conditional or expr_variant(st.init)) and (
+                        st.name not in variant
+                    ):
+                        variant.add(st.name)
+                        changed = True
+                elif isinstance(st, ir.Assign):
+                    if (conditional or expr_variant(st.value)) and (
+                        st.name not in variant
+                    ):
+                        variant.add(st.name)
+                        changed = True
+                elif isinstance(st, ir.If):
+                    visit(st.then, True)
+                    visit(st.orelse, True)
+                elif isinstance(st, (ir.For, ir.While)):
+                    visit(st.body, conditional)
+
+        visit(fn.body, False)
+    return variant
+
+
+def _eligible(module: ir.Module, fn: ir.Function) -> bool:
+    variant = _variant_vars(fn)
+
+    def invariant(e: Optional[ir.Expr]) -> bool:
+        if e is None:
+            return True
+        for node in ir.walk_exprs(e):
+            if isinstance(node, ir.Var) and node.name in variant:
+                return False
+            if isinstance(node, ir.Index):
+                return False
+            if isinstance(node, ir.Call) and node.name in (
+                "get_global_id",
+                "get_local_id",
+                "get_group_id",
+                "get_work_dim",
+            ):
+                return False
+        return True
+
+    for st in ir.walk_stmts(fn.body):
+        if isinstance(
+            st, (ir.While, ir.Return, ir.Break, ir.Continue, ir.Barrier)
+        ):
+            return False
+        if isinstance(st, ir.Decl) and isinstance(st.type, ir.ArrayType):
+            if st.type.space == ir.LOCAL:
+                return False
+            if st.size is None or not invariant(st.size):
+                return False
+        if isinstance(st, ir.For):
+            if not isinstance(st.step, ir.Const):
+                return False
+            if any(
+                isinstance(s, ir.Assign) and s.name == st.var
+                for s in ir.walk_stmts(st.body)
+            ):
+                return False
+            if not (
+                invariant(st.start)
+                and invariant(st.stop)
+                and invariant(st.step)
+            ):
+                return False
+        if isinstance(st, ir.Store) and not isinstance(st.base, ir.Var):
+            return False
+        for e in ir.walk_exprs(st):
+            if isinstance(e, ir.Index) and not isinstance(e.base, ir.Var):
+                return False
+            if isinstance(e, ir.Call):
+                if e.name == "get_work_dim":
+                    return False
+                if e.name in ir.WORKITEM_BUILTINS:
+                    if not e.args or not isinstance(e.args[0], ir.Const):
+                        return False
+                    continue
+                if e.name not in _NP_MATH:
+                    return False  # user function call
+            if isinstance(e, ir.Select) and (
+                _unsafe_speculative(e.if_true)
+                or _unsafe_speculative(e.if_false)
+            ):
+                return False
+            if isinstance(e, ir.BinOp):
+                if e.op in ("&&", "||") and _unsafe_speculative(e.right):
+                    return False
+    return True
+
+
+# -- codegen ---------------------------------------------------------------
+
+
+class _VecCompiler:
+    """Compiles one eligible kernel body to masked numpy statements."""
+
+    def __init__(
+        self, module: ir.Module, fn: ir.Function, em: _Emitter
+    ) -> None:
+        self.module = module
+        self.fn = fn
+        self.em = em
+        self.masks: list[str] = []
+        self.private: set[str] = set()
+        self.tmp = 0
+
+    @staticmethod
+    def var(name: str) -> str:
+        return f"v_{name}"
+
+    def fresh_mask(self) -> str:
+        self.tmp += 1
+        return f"__m{self.tmp}"
+
+    @property
+    def mask(self) -> Optional[str]:
+        return self.masks[-1] if self.masks else None
+
+    def _m(self) -> str:
+        return self.mask or "None"
+
+    def add_ops(self, n: int) -> None:
+        if self.mask is None:
+            self.em.emit(f"__ops += {n}")
+        else:
+            self.em.emit(f"__ops[{self.mask}] += {n}")
+
+    # -- expressions ----------------------------------------------------
+
+    def expr(self, e: ir.Expr) -> str:
+        if isinstance(e, ir.Const):
+            if isinstance(e.value, bool):
+                return "True" if e.value else "False"
+            return repr(e.value)
+        if isinstance(e, ir.Var):
+            return self.var(e.name)
+        if isinstance(e, ir.BinOp):
+            return self._binop(e)
+        if isinstance(e, ir.UnOp):
+            inner = self.expr(e.operand)
+            if e.op == "-":
+                return f"(-{inner})"
+            if e.op == "!":
+                return f"__vnot({inner})"
+            return f"(~{inner})"
+        if isinstance(e, ir.Index):
+            assert isinstance(e.base, ir.Var)
+            idx = self.expr(e.index)
+            if e.base.name in self.private:
+                return (
+                    f"__vload2({self.var(e.base.name)}, __lin, {idx}, "
+                    f"{self._m()})"
+                )
+            return f"__vload({self.var(e.base.name)}, {idx}, {self._m()})"
+        if isinstance(e, ir.Cast):
+            inner = self.expr(e.operand)
+            fn = {"int": "__vint", "float": "__vfloat", "bool": "__vbool"}[
+                e.target.kind
+            ]
+            return f"{fn}({inner})"
+        if isinstance(e, ir.Select):
+            c = self.expr(e.cond)
+            t = self.expr(e.if_true)
+            f = self.expr(e.if_false)
+            return f"__vsel({c}, {t}, {f})"
+        if isinstance(e, ir.Call):
+            return self._call(e)
+        raise KirRuntimeError(f"vec codegen: unknown expr {type(e).__name__}")
+
+    def _binop(self, e: ir.BinOp) -> str:
+        lk = _kind(e.left)
+        rk = _kind(e.right)
+        left = self.expr(e.left)
+        right = self.expr(e.right)
+        op = e.op
+        if op == "/":
+            if lk == ir.INT and rk == ir.INT:
+                return f"__vidiv({left}, {right}, {self._m()})"
+            if ir.FLOAT in (lk, rk):
+                return f"__vfdiv({left}, {right}, {self._m()})"
+            return f"__vdiv({left}, {right}, {self._m()})"
+        if op == "%":
+            if lk == ir.INT and rk == ir.INT:
+                return f"__vimod({left}, {right}, {self._m()})"
+            if ir.FLOAT in (lk, rk):
+                return f"__vfmod({left}, {right}, {self._m()})"
+            return f"__vmod({left}, {right}, {self._m()})"
+        if op == "&&":
+            return f"__vand({left}, {right})"
+        if op == "||":
+            return f"__vor({left}, {right})"
+        return f"({left} {op} {right})"
+
+    def _call(self, e: ir.Call) -> str:
+        if e.name in ir.WORKITEM_BUILTINS:
+            d = int(e.args[0].value)  # type: ignore[attr-defined]
+            if not 0 <= d < _MAX_DIMS:
+                return "0" if e.name.endswith("_id") else "1"
+            return f"{_WI_VARS[e.name]}{d}"
+        args = ", ".join(self.expr(a) for a in e.args)
+        return f"{_NP_MATH[e.name]}({args})"
+
+    # -- statements -----------------------------------------------------
+
+    def block(self, stmts: Sequence[ir.Stmt]) -> None:
+        """Mirror of ``_FnCompiler.block``'s per-run op batching."""
+        pending = 0
+
+        def flush() -> None:
+            nonlocal pending
+            if pending:
+                self.add_ops(pending)
+                pending = 0
+
+        for st in stmts:
+            if isinstance(st, (ir.Decl, ir.Assign, ir.Store, ir.ExprStmt)):
+                pending += _stmt_cost(st)
+                self.simple_stmt(st)
+            else:
+                flush()
+                self.control_stmt(st)
+        flush()
+
+    def simple_stmt(self, st: ir.Stmt) -> None:
+        em = self.em
+        if isinstance(st, ir.Decl):
+            if isinstance(st.type, ir.ArrayType):
+                assert st.size is not None
+                size = self.expr(st.size)
+                dtype = _NP_DTYPE_OF[st.type.element.kind]
+                em.emit(
+                    f"{self.var(st.name)} = "
+                    f"__np.zeros((__n, {size}), dtype={dtype})"
+                )
+                self.private.add(st.name)
+            elif st.init is not None:
+                self._assign(st.name, self.expr(st.init), declares=True)
+            else:
+                em.emit(f"{self.var(st.name)} = {_ZERO[st.type.kind]}")
+        elif isinstance(st, ir.Assign):
+            self._assign(st.name, self.expr(st.value))
+        elif isinstance(st, ir.Store):
+            assert isinstance(st.base, ir.Var)
+            idx = self.expr(st.index)
+            val = self.expr(st.value)
+            if st.base.name in self.private:
+                em.emit(
+                    f"__vstore2({self.var(st.base.name)}, __lin, {idx}, "
+                    f"{val}, {self._m()})"
+                )
+            else:
+                em.emit(
+                    f"__vstore({self.var(st.base.name)}, {idx}, {val}, "
+                    f"{self._m()})"
+                )
+        elif isinstance(st, ir.ExprStmt):
+            em.emit(f"_ = {self.expr(st.expr)}")
+        else:  # pragma: no cover - guarded by block()
+            raise KirRuntimeError(f"not simple: {type(st).__name__}")
+
+    def _assign(self, name: str, value: str, declares: bool = False) -> None:
+        target = self.var(name)
+        if self.mask is None or declares:
+            # A declaration is scoped to its branch: later lanes never
+            # observe it, so the unmasked full-width value is correct.
+            self.em.emit(f"{target} = {value}")
+        else:
+            self.em.emit(
+                f"{target} = __np.where({self.mask}, {value}, {target})"
+            )
+
+    def control_stmt(self, st: ir.Stmt) -> None:
+        em = self.em
+        if isinstance(st, ir.If):
+            self.add_ops(_static_cost(st.cond) + 1)
+            raw = self.fresh_mask()
+            em.emit(f"{raw} = __vmask({self.expr(st.cond)}, __n)")
+            then_mask = raw if self.mask is None else self.fresh_mask()
+            if self.mask is not None:
+                em.emit(f"{then_mask} = {raw} & {self.mask}")
+            if st.then:
+                em.emit(f"if {then_mask}.any():")
+                em.indent += 1
+                self.masks.append(then_mask)
+                self.block(st.then)
+                self.masks.pop()
+                em.indent -= 1
+            if st.orelse:
+                else_mask = self.fresh_mask()
+                if self.mask is None:
+                    em.emit(f"{else_mask} = ~{raw}")
+                else:
+                    em.emit(f"{else_mask} = ~{raw} & {self.mask}")
+                em.emit(f"if {else_mask}.any():")
+                em.indent += 1
+                self.masks.append(else_mask)
+                self.block(st.orelse)
+                self.masks.pop()
+                em.indent -= 1
+        elif isinstance(st, ir.For):
+            setup = (
+                _static_cost(st.start)
+                + _static_cost(st.stop)
+                + _static_cost(st.step)
+            )
+            if setup:
+                self.add_ops(setup)
+            start = self.expr(st.start)
+            stop = self.expr(st.stop)
+            step = self.expr(st.step)
+            em.emit(
+                f"for {self.var(st.var)} in range({start}, {stop}, {step}):"
+            )
+            em.indent += 1
+            self.add_ops(2)
+            self.block(st.body)
+            em.indent -= 1
+        else:  # pragma: no cover - guarded by _eligible
+            raise KirRuntimeError(
+                f"vec codegen: unsupported {type(st).__name__}"
+            )
+
+
+def _vint(x: Any):
+    return x.astype(_np.int64) if _is_arr(x) else int(x)
+
+
+def _vfloat(x: Any):
+    return x.astype(_np.float64) if _is_arr(x) else float(x)
+
+
+def _vbool(x: Any):
+    return x.astype(bool) if _is_arr(x) else bool(x)
+
+
+def _gen_vec_kernel(module: ir.Module, fn: ir.Function, em: _Emitter) -> None:
+    used = _used_workitem_vars(fn)
+    params = [f"v_{p.name}" for p in fn.params]
+    em.emit(f"def __vec_{fn.name}(__args, __gsz, __lsz):")
+    em.indent += 1
+    if params:
+        em.emit(f"({', '.join(params)},) = __args")
+    for d in range(_MAX_DIMS):
+        em.emit(f"__G{d} = __gsz[{d}]")
+        em.emit(f"__L{d} = __lsz[{d}]")
+        em.emit(f"__N{d} = __G{d} // __L{d}")
+    em.emit("__n = __G0 * __G1 * __G2")
+    em.emit("__lin = __np.arange(__n)")
+    id_used = {d for (name, d) in used if name == "get_global_id"}
+    id_used |= {d for (name, d) in used if name in (
+        "get_local_id", "get_group_id")}
+    for d in sorted(id_used):
+        if d == 0:
+            em.emit("__g0 = __lin % __G0")
+        elif d == 1:
+            em.emit("__g1 = (__lin // __G0) % __G1")
+        else:
+            em.emit("__g2 = __lin // (__G0 * __G1)")
+    for name, d in sorted(used):
+        if name == "get_local_id":
+            em.emit(f"__l{d} = __g{d} % __L{d}")
+        elif name == "get_group_id":
+            em.emit(f"__grp{d} = __g{d} // __L{d}")
+    em.emit("__ops = __np.zeros(__n, dtype=__np.int64)")
+    comp = _VecCompiler(module, fn, em)
+    comp.block(fn.body)
+    em.emit("return __ops")
+    em.indent -= 1
+    em.emit("")
+
+
+#: (gsz, lsz) -> linear-to-group-major scatter index for
+#: :func:`fold_group_warps`.  Iterative workloads (the LUD pipeline,
+#: repeated docrank launches) dispatch the same NDRange shape hundreds
+#: of times; the index math is the dominant fold cost, so it is built
+#: once per shape.  Bounded: wiped wholesale when it grows past 64
+#: shapes (real workloads use a handful).
+_fold_perm_cache: dict = {}
+
+
+def _fold_perm(g: tuple, l: tuple, nitems: int) -> Any:
+    key = (g, l)
+    perm = _fold_perm_cache.get(key)
+    if perm is None:
+        n0, n1 = g[0] // l[0], g[1] // l[1]
+        gitems = l[0] * l[1] * l[2]
+        lin = _np.arange(nitems)
+        x = lin % g[0]
+        y = (lin // g[0]) % g[1]
+        z = lin // (g[0] * g[1])
+        grp = (z // l[2] * n1 + y // l[1]) * n0 + x // l[0]
+        intra = ((z % l[2]) * l[1] + y % l[1]) * l[0] + x % l[0]
+        perm = grp * gitems + intra
+        if len(_fold_perm_cache) >= 64:
+            _fold_perm_cache.clear()
+        _fold_perm_cache[key] = perm
+    return perm
+
+
+def fold_group_warps(
+    ops: Any, gsz: Sequence[int], lsz: Sequence[int], simd: int
+) -> list[list[int]]:
+    """Reduce a per-item op vector to per-group warp maxima.
+
+    Reproduces ``costmodel._group_warp_costs`` exactly: items are
+    regrouped from linear (dim0-fastest) order into intra-group arrival
+    order, chunked into warps of *simd*, and reduced by max.  The
+    short-warp tail pads with zeros, which cannot change a maximum of
+    non-negative op counts.
+    """
+    g = _pad3(gsz)
+    l = _pad3(lsz)
+    n0, n1, n2 = g[0] // l[0], g[1] // l[1], g[2] // l[2]
+    ngroups = n0 * n1 * n2
+    gitems = l[0] * l[1] * l[2]
+    if l[1] == 1 and l[2] == 1:
+        # Groups never span dim1/dim2: linear order is already
+        # group-major intra-group order.
+        arranged = ops
+    else:
+        arranged = _np.empty_like(ops)
+        arranged[_fold_perm(g, l, ops.shape[0])] = ops
+    nwarps = -(-gitems // simd)
+    if gitems % simd:
+        padded = _np.zeros((ngroups, nwarps * simd), dtype=ops.dtype)
+        padded[:, :gitems] = arranged.reshape(ngroups, gitems)
+        arranged = padded
+    else:
+        arranged = arranged.reshape(ngroups, nwarps * simd)
+    return arranged.reshape(ngroups, nwarps, simd).max(axis=2).tolist()
+
+
+class VecKernel:
+    """Callable vectorised form of one range-mode kernel."""
+
+    def __init__(self, fn: ir.Function, run_fn: Any) -> None:
+        self.fn = fn
+        self.name = fn.name
+        self._run = run_fn
+
+    def run_group_warps(
+        self,
+        args: Sequence[Any],
+        gsz: Sequence[int],
+        lsz: Sequence[int],
+        simd: int,
+    ) -> list[list[int]]:
+        """Execute the NDRange on numpy arrays; returns per-group warp
+        op maxima.  Array arguments must be numpy views of the buffers
+        (:meth:`repro.opencl.memory.Buffer.np_view`)."""
+        g = _pad3(gsz)
+        l = _pad3(lsz)
+        # Masked-off lanes may compute garbage that is discarded; only
+        # the mask-aware helpers turn *active* faults into errors.
+        with _np.errstate(all="ignore"):
+            ops = self._run(tuple(args), g, l)
+        return fold_group_warps(ops, g, l, simd)
+
+
+def vectorize_kernel(
+    module: ir.Module, fn: ir.Function
+) -> Optional[VecKernel]:
+    """Compile *fn* to a :class:`VecKernel`, or None if ineligible."""
+    if not AVAILABLE:
+        return None
+    try:
+        if not _eligible(module, fn):
+            return None
+        em = _Emitter()
+        _gen_vec_kernel(module, fn, em)
+        namespace = _namespace_base()
+        namespace["__vint"] = _vint
+        namespace["__vfloat"] = _vfloat
+        namespace["__vbool"] = _vbool
+        code = compile(em.source(), f"<kirvec:{fn.name}>", "exec")
+        exec(code, namespace)  # noqa: S102 - our own generated code
+        return VecKernel(fn, namespace[f"__vec_{fn.name}"])
+    except Exception:
+        # Vectorisation is purely an optimisation: any unexpected shape
+        # falls back to the scalar engine rather than failing the build.
+        return None

@@ -448,13 +448,26 @@ class KernelRunner:
         run_range: Optional[Callable] = None,
         wi_factory: Optional[Callable] = None,
         locals_factory: Optional[Callable] = None,
+        run_warps: Optional[Callable] = None,
     ) -> None:
         self.fn = fn
         self.name = fn.name
         self.group_mode = run_range is None
+        self.has_barrier = ir.has_barrier(fn)
         self._run_range = run_range
         self._wi_factory = wi_factory
         self._locals_factory = locals_factory
+        self._run_warps = run_warps
+        #: vectorised batch executor (:mod:`repro.kir.npcodegen`), or
+        #: None when numpy is missing or the kernel is not vectorisable
+        self.vec = None
+        #: indices of array params the kernel stores into
+        self.written_param_indices: tuple[int, ...] = tuple(
+            i
+            for i, p in enumerate(fn.params)
+            if isinstance(p.type, ir.ArrayType)
+            and p.name in ir.written_arrays(fn)
+        )
 
     # -- range mode -------------------------------------------------------
 
@@ -470,6 +483,19 @@ class KernelRunner:
         assert self._run_range is not None
         return self._run_range(tuple(args), g, l)
 
+    def run_group_warps(
+        self,
+        args: Sequence[Any],
+        gsz: Sequence[int],
+        lsz: Sequence[int],
+        simd: int,
+    ) -> list[list[int]]:
+        """Execute the NDRange, folding per-item op counts into per-group
+        warp maxima on the fly (the only granularity the cost model's
+        divergence rule consumes).  Range-mode kernels only."""
+        assert self._run_warps is not None
+        return self._run_warps(tuple(args), _pad3(gsz), _pad3(lsz), simd)
+
     # -- group mode -------------------------------------------------------
 
     def _run_groups(
@@ -480,13 +506,22 @@ class KernelRunner:
         ngrp = tuple(a // b for a, b in zip(g, l))
         args_t = tuple(args)
         assert self._wi_factory is not None and self._locals_factory is not None
+        wi = self._wi_factory
+        mk_locals = self._locals_factory
         item_ops: list[int] = []
         group_items = l[0] * l[1] * l[2]
+        # One generator slot per work-item, reused for every group.
+        gens: list = [None] * group_items
+        drive = (
+            self._drive_group if self.has_barrier
+            else self._drive_group_nobarrier
+        )
         for gz in range(ngrp[2]):
             for gy in range(ngrp[1]):
                 for gx in range(ngrp[0]):
-                    local_mem = self._locals_factory(args_t, g, l, ngrp)
-                    gens = []
+                    local_mem = mk_locals(args_t, g, l, ngrp)
+                    grp = (gx, gy, gz)
+                    slot = 0
                     for lz in range(l[2]):
                         for ly in range(l[1]):
                             for lx in range(l[0]):
@@ -495,20 +530,18 @@ class KernelRunner:
                                     gy * l[1] + ly,
                                     gz * l[2] + lz,
                                 )
-                                gens.append(
-                                    self._wi_factory(
-                                        args_t,
-                                        gid,
-                                        (lx, ly, lz),
-                                        (gx, gy, gz),
-                                        g,
-                                        l,
-                                        ngrp,
-                                        local_mem,
-                                    )
+                                gens[slot] = wi(
+                                    args_t,
+                                    gid,
+                                    (lx, ly, lz),
+                                    grp,
+                                    g,
+                                    l,
+                                    ngrp,
+                                    local_mem,
                                 )
-                    ops = self._drive_group(gens, group_items)
-                    item_ops.extend(ops)
+                                slot += 1
+                    item_ops.extend(drive(gens, group_items))
         return item_ops
 
     @staticmethod
@@ -532,10 +565,41 @@ class KernelRunner:
             live = still
         return ops
 
+    @staticmethod
+    def _drive_group_nobarrier(gens: list, count: int) -> list[int]:
+        """Run a barrier-free group to completion, one item at a time.
+
+        Local-memory kernels without barriers land here: there is no
+        lock-step to maintain, so the per-pass ``live``/``still`` list
+        churn of :meth:`_drive_group` is skipped entirely.
+        """
+        ops = [0] * count
+        for i in range(count):
+            gen = gens[i]
+            try:
+                next(gen)  # run the body up to the trailing yield
+                next(gen)  # complete
+            except StopIteration as stop:
+                ops[i] = stop.value if stop.value is not None else 0
+                continue
+            raise KirRuntimeError(  # pragma: no cover - defensive
+                "barrier in a kernel compiled as barrier-free"
+            )
+        return ops
+
 
 def _pad3(dims: Sequence[int]) -> tuple[int, int, int]:
     d = list(dims) + [1] * (_MAX_DIMS - len(dims))
     return (d[0], d[1], d[2])
+
+
+def _vectorize(module: ir.Module, fn: ir.Function):
+    """Build the numpy batch executor for *fn*, if possible."""
+    from . import npcodegen
+
+    if not npcodegen.AVAILABLE:
+        return None
+    return npcodegen.vectorize_kernel(module, fn)
 
 
 class CompiledModule:
@@ -556,9 +620,13 @@ class CompiledModule:
                     locals_factory=self.namespace[f"__locals_{fn.name}"],
                 )
             else:
-                self._runners[fn.name] = KernelRunner(
-                    fn, run_range=self.namespace[f"__run_{fn.name}"]
+                runner = KernelRunner(
+                    fn,
+                    run_range=self.namespace[f"__run_{fn.name}"],
+                    run_warps=self.namespace[f"__warps_{fn.name}"],
                 )
+                runner.vec = _vectorize(module, fn)
+                self._runners[fn.name] = runner
 
     def call(self, name: str, args: Sequence[Any]) -> tuple[Any, int]:
         """Call host function *name*; returns ``(value, op_count)``."""
@@ -661,6 +729,87 @@ def _gen_range_kernel(module: ir.Module, fn: ir.Function, em: _Emitter) -> None:
     em.emit(f"__ap(__it({call_args}))")
     em.indent -= 3
     em.emit("return __item_ops")
+    em.indent -= 1
+    em.emit("")
+
+    _gen_warps_runner(module, fn, em, used)
+
+
+def _gen_warps_runner(
+    module: ir.Module,
+    fn: ir.Function,
+    em: _Emitter,
+    used: set[tuple[str, int]],
+) -> None:
+    """The batched fast path for a range-mode kernel.
+
+    ``__warps_<k>(__args, __gsz, __lsz, __simd)`` walks the NDRange in
+    the cost model's group/warp order with all index arithmetic hoisted
+    into the loop nest, folds per-item op counts into per-warp maxima as
+    it goes (the divergence rule never looks below warp granularity)
+    and returns one list of warp maxima per work-group — the millions of
+    intermediate Python ints of the ``__run_`` path never materialise.
+    The kernel body is inlined unless it early-returns, in which case
+    the per-item function is called instead.
+    """
+    params = [f"v_{p.name}" for p in fn.params]
+    has_return = any(
+        isinstance(st, ir.Return) for st in ir.walk_stmts(fn.body)
+    )
+    em.emit(f"def __warps_{fn.name}(__args, __gsz, __lsz, __simd):")
+    em.indent += 1
+    if params:
+        em.emit(f"({', '.join(params)},) = __args")
+    for d in range(_MAX_DIMS):
+        em.emit(f"__G{d} = __gsz[{d}]")
+        em.emit(f"__L{d} = __lsz[{d}]")
+        em.emit(f"__N{d} = __G{d} // __L{d}")
+    if has_return:
+        em.emit(f"__it = __item_{fn.name}")
+    em.emit("__out = []")
+    em.emit("__oap = __out.append")
+    for d in (2, 1, 0):
+        em.emit(f"for __grp{d} in range(__N{d}):")
+        em.indent += 1
+        em.emit(f"__b{d} = __grp{d} * __L{d}")
+    em.emit("__warps = []")
+    em.emit("__wap = __warps.append")
+    em.emit("__wmax = 0")
+    em.emit("__lane = 0")
+    for d in (2, 1, 0):
+        em.emit(f"for __l{d} in range(__L{d}):")
+        em.indent += 1
+        if ("get_global_id", d) in used:
+            em.emit(f"__g{d} = __b{d} + __l{d}")
+    if has_return:
+        # __item_'s work-item parameters are exactly the loop-scope vars.
+        call_args = ", ".join(
+            params + [f"{_WI_VARS[name]}{d}" for (name, d) in sorted(used)]
+        )
+        em.emit(f"__ops = __it({call_args})")
+    else:
+        em.emit("__ops = 0")
+        comp = _FnCompiler(module, fn, em, mode="item", used_wi=used)
+        comp.block(fn.body)
+    em.emit("if __ops > __wmax:")
+    em.indent += 1
+    em.emit("__wmax = __ops")
+    em.indent -= 1
+    em.emit("__lane += 1")
+    em.emit("if __lane == __simd:")
+    em.indent += 1
+    em.emit("__wap(__wmax)")
+    em.emit("__wmax = 0")
+    em.emit("__lane = 0")
+    em.indent -= 1
+    em.indent -= 3
+    em.emit("if __lane:")
+    em.indent += 1
+    em.emit("__wap(__wmax)")
+    em.indent -= 1
+    em.emit("__oap(__warps)")
+    em.indent -= 3
+    em.emit("return __out")
     em.indent -= 1
     em.emit("")
 

@@ -67,8 +67,21 @@ def clCreateBuffer(
 
 
 def clCreateProgramWithSource(context: Context, source: str) -> Program:
+    """Create (or re-reference) the context's program for *source*.
+
+    Identical source within one context returns the same retained
+    Program object, so its build state — and the compile cost already
+    paid — is shared; pair each call with :func:`clReleaseProgram`.
+    """
     context.charge_api_call()
-    return Program(context, source)
+    with context._registry_lock:
+        existing = context._program_registry.get(source)
+        if existing is not None:
+            existing.retain()
+            return existing
+        program = Program(context, source)
+        context._program_registry[source] = program
+        return program
 
 
 def clBuildProgram(

@@ -64,6 +64,25 @@ class Context:
         self.released = False
         self._queues: list = []
         self._buffers: list = []
+        #: source text -> shared Program object (clCreateProgramWithSource
+        #: dedupe within this context); see Program.shared.
+        self._program_registry: dict = {}
+        #: kcache fingerprint -> CompiledModule: the context's registry
+        #: of already-built "program binaries".  Rebuilding an identical
+        #: (source, device-spec) pair through any Program object finds
+        #: the binary here and is charged a cheap API call instead of a
+        #: full compile (the clCreateProgramWithBinary model).
+        self._binary_cache: dict = {}
+        self._registry_lock = threading.Lock()
+
+    def program_binary(self, key: str):
+        """Look up an already-built program binary by kcache fingerprint."""
+        with self._registry_lock:
+            return self._binary_cache.get(key)
+
+    def store_program_binary(self, key: str, compiled) -> None:
+        with self._registry_lock:
+            self._binary_cache[key] = compiled
 
     def has_device(self, device: Device) -> bool:
         return device in self.devices
@@ -108,8 +127,19 @@ class Context:
         self.charge("host", spec.api_call_ns, name=name)
 
     def reset_ledger(self) -> CostLedger:
-        """Install and return a fresh ledger (harness: between runs)."""
+        """Install and return a fresh ledger (harness: between runs).
+
+        Program state resets with it: a measured run must price its own
+        compiles, so the shared-program registry and the binary cache
+        never leak "already built" state from a previous run into the
+        next run's figures.  (The process-global wall-clock compile
+        cache in :mod:`repro.kcache` is unaffected — it carries no
+        simulated cost.)
+        """
         self.ledger = CostLedger()
+        with self._registry_lock:
+            self._program_registry.clear()
+            self._binary_cache.clear()
         return self.ledger
 
     def release(self) -> None:

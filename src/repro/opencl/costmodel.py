@@ -83,6 +83,18 @@ class DeviceSpec:
         group_warps = _group_warp_costs(
             item_ops, global_size, local_size, self.simd_width
         )
+        return self.kernel_ns_from_group_warps(group_warps)
+
+    def kernel_ns_from_group_warps(
+        self, group_warps: Sequence[Sequence[int]]
+    ) -> float:
+        """Price a dispatch from per-group lists of warp op maxima.
+
+        The divergence rule only ever consumes warp-level maxima, so
+        runners that reduce lanes to warp maxima on the fly (the batched
+        execution fast path) feed this directly and produce bit-identical
+        times to :meth:`kernel_ns` over the full per-item list.
+        """
         group_ns = [
             sum(w for w in warps) / self.ops_per_ns for warps in group_warps
         ]

@@ -1,0 +1,96 @@
+"""Execution-tier selection for NDRange dispatches.
+
+Pricing a kernel dispatch needs its per-group warp op maxima; how those
+are obtained is purely a host wall-clock concern.  This module picks the
+fastest correct tier for each dispatch:
+
+* **vectorised** — the numpy batch executor
+  (:mod:`repro.kir.npcodegen`), used for eligible range-mode kernels on
+  NDRanges large enough to amortise array setup.  Array arguments are
+  the buffers' numpy mirrors, so chained dispatches over the same
+  buffers stay in numpy-land with no list conversion in between.
+* **scalar warp-fold** — the generated ``__warps_`` runner, which
+  iterates items inline with hoisted index arithmetic and folds op
+  counts into warp maxima on the fly (no per-item list).
+* **legacy** — the original ``__run_`` per-item path, kept as the
+  reference; selectable via :func:`set_legacy_execution` so benchmarks
+  can measure old vs new on the same workload.
+
+Group-mode kernels (barriers / local memory) always run the lock-step
+generator engine and are priced through ``DeviceSpec.kernel_ns``
+unchanged.  All tiers produce identical warp maxima (tests assert it),
+so simulated nanoseconds never depend on the tier chosen.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .. import kir
+from .costmodel import DeviceSpec
+from .memory import HAVE_NUMPY, Buffer
+
+#: Below this many work-items the scalar warp-fold runner beats the
+#: numpy tier on wall-clock (array setup dominates tiny dispatches).
+VEC_MIN_ITEMS = 256
+
+_legacy = False
+
+
+def set_legacy_execution(flag: bool) -> None:
+    """Force every dispatch through the original per-item path
+    (benchmarking aid; simulated costs are identical either way)."""
+    global _legacy
+    _legacy = bool(flag)
+
+
+def use_legacy() -> bool:
+    return _legacy
+
+
+def _listify(raw_args: Sequence) -> list:
+    return [a.data if isinstance(a, Buffer) else a for a in raw_args]
+
+
+def dispatch_kernel_ns(
+    runner: "kir.KernelRunner",
+    spec: DeviceSpec,
+    raw_args: Sequence,
+    gsz: Sequence[int],
+    lsz: Sequence[int],
+) -> float:
+    """Execute one NDRange dispatch and return its simulated duration.
+
+    *raw_args* carries :class:`Buffer` objects for array parameters (so
+    this helper can choose the storage tier) and plain scalars
+    otherwise.
+    """
+    if runner.group_mode or _legacy:
+        item_ops = runner.run_range(_listify(raw_args), gsz, lsz)
+        return spec.kernel_ns(item_ops, gsz, lsz)
+    nitems = 1
+    for s in gsz:
+        nitems *= s
+    if (
+        runner.vec is not None
+        and HAVE_NUMPY
+        and nitems >= VEC_MIN_ITEMS
+    ):
+        np_args = [
+            a.np_view() if isinstance(a, Buffer) else a for a in raw_args
+        ]
+        try:
+            group_warps = runner.vec.run_group_warps(
+                np_args, gsz, lsz, spec.simd_width
+            )
+        finally:
+            # Even a faulting kernel may have partially stored.
+            for i in runner.written_param_indices:
+                arg = raw_args[i]
+                if isinstance(arg, Buffer):
+                    arg.mark_np_written()
+        return spec.kernel_ns_from_group_warps(group_warps)
+    group_warps = runner.run_group_warps(
+        _listify(raw_args), gsz, lsz, spec.simd_width
+    )
+    return spec.kernel_ns_from_group_warps(group_warps)

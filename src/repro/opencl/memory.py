@@ -6,6 +6,13 @@ executable — but all paper-relevant behaviour is preserved: buffers
 live on the device side of a modelled host link, moving data across it
 costs simulated time proportional to the byte size, and host code can
 only observe kernel writes after an explicit read-back.
+
+Storage is two-tiered for host-path speed: the canonical Python list
+(every legacy consumer reads/writes ``buf.data``) plus a lazily
+materialised NumPy mirror used by the vectorised kernel execution path.
+Whichever tier was written last is authoritative; the other is synced
+on demand.  The tiers are a wall-clock optimisation only — simulated
+costs never depend on which tier executed an access.
 """
 
 from __future__ import annotations
@@ -17,6 +24,13 @@ from ..errors import CLInvalidValue, CLMemObjectReleased
 from .context import Context
 from .costmodel import ELEMENT_BYTES
 
+try:  # the vectorised execution tier is optional
+    import numpy as _np
+except ImportError:  # pragma: no cover - environment without numpy
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
 _buffer_ids = itertools.count(1)
 
 # Memory flags (subset of the OpenCL CL_MEM_* flags).
@@ -26,6 +40,12 @@ WRITE_ONLY = "WRITE_ONLY"
 COPY_HOST_PTR = "COPY_HOST_PTR"
 
 _ZERO = {"float": 0.0, "int": 0, "bool": False}
+
+
+def np_dtype(dtype: str):
+    """NumPy dtype for a buffer element type (requires numpy)."""
+    assert _np is not None
+    return {"float": _np.float64, "int": _np.int64, "bool": _np.bool_}[dtype]
 
 
 class Buffer:
@@ -49,6 +69,9 @@ class Buffer:
         self.n_elements = n_elements
         self.flags = tuple(flags)
         self.released = False
+        self._np = None
+        self._np_fresh = False
+        self._list_fresh = True
         if COPY_HOST_PTR in self.flags:
             if host_data is None:
                 raise CLInvalidValue("COPY_HOST_PTR without host data")
@@ -56,10 +79,50 @@ class Buffer:
                 raise CLInvalidValue(
                     f"host data length {len(host_data)} != {n_elements}"
                 )
-            self.data = list(host_data)
+            self._list = list(host_data)
         else:
-            self.data = [_ZERO[dtype]] * n_elements
+            self._list = [_ZERO[dtype]] * n_elements
         context._buffers.append(self)
+
+    # -- two-tier storage --------------------------------------------------
+
+    @property
+    def data(self) -> list:
+        """The buffer contents as the canonical Python list.
+
+        Callers may mutate the returned list in place (the substrate
+        itself does), so any still-fresh NumPy mirror is conservatively
+        invalidated here.
+        """
+        if not self._list_fresh:
+            self._list[:] = self._np.tolist()
+            self._list_fresh = True
+        self._np_fresh = False
+        return self._list
+
+    @data.setter
+    def data(self, values: list) -> None:
+        self._list = values
+        self._list_fresh = True
+        self._np = None
+        self._np_fresh = False
+
+    def np_view(self):
+        """The contents as a NumPy array (authoritative until the list
+        tier is touched).  Callers that write through the view must call
+        :meth:`mark_np_written`."""
+        assert _np is not None
+        if not self._np_fresh:
+            self._np = _np.asarray(self._list, dtype=np_dtype(self.dtype))
+            self._np_fresh = True
+        return self._np
+
+    def mark_np_written(self) -> None:
+        """A vectorised kernel stored through the NumPy mirror: the list
+        tier is stale until the next ``.data`` access."""
+        self._list_fresh = False
+
+    # -- geometry / lifecycle ----------------------------------------------
 
     @property
     def nbytes(self) -> int:

@@ -15,16 +15,10 @@ import threading
 from typing import Callable, Optional, Sequence
 
 from ..errors import CLBuildProgramFailure, CLInvalidDevice, CLInvalidValue
-from .. import kernelc, kir
+from .. import kcache, kir
 from .costmodel import CPU, GPU, DeviceSpec, cpu_spec, gpu_spec
 
 _device_ids = itertools.count(1)
-
-# Compiled programs are cached per (device-name, source) because the
-# runtime compiles kernels on every application start (paper Section 2.1)
-# and benchmark repetitions would otherwise pay Python-side compile time.
-_PROGRAM_CACHE: dict[tuple[str, str], kir.CompiledModule] = {}
-_CACHE_LOCK = threading.Lock()
 
 
 class Device:
@@ -62,19 +56,20 @@ class Device:
     # -- kernel compilation ---------------------------------------------
 
     def compile_source(self, source: str) -> kir.CompiledModule:
-        """Runtime-compile kernel-C *source* for this device (cached)."""
-        key = (self.name, source)
-        with _CACHE_LOCK:
-            cached = _PROGRAM_CACHE.get(key)
-        if cached is not None:
-            return cached
+        """Runtime-compile kernel-C *source* for this device.
+
+        Compilation is deduplicated through the content-addressed
+        :mod:`repro.kcache` (keyed on source x device-spec fingerprint),
+        so identical kernels targeting identically-parameterised devices
+        compile once per process regardless of how many Program objects,
+        contexts or platform instances are involved.
+        """
         try:
-            compiled = kernelc.build(source)
+            return kcache.get_or_build(source, self.spec)
+        except CLBuildProgramFailure:
+            raise
         except Exception as exc:  # surface as a CL build failure
             raise CLBuildProgramFailure(str(exc), build_log=str(exc)) from exc
-        with _CACHE_LOCK:
-            _PROGRAM_CACHE[key] = compiled
-        return compiled
 
     # -- work-group sizing ------------------------------------------------
 

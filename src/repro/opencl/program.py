@@ -11,10 +11,11 @@ here the baseline path keeps the delayed-error behaviour.
 from __future__ import annotations
 
 import itertools
+import threading
 from typing import Optional
 
 from ..errors import CLBuildProgramFailure, CLInvalidValue
-from .. import kir
+from .. import kcache, kir
 from .context import Context
 from .platform import Device
 
@@ -29,17 +30,50 @@ class Program:
         self.context = context
         self.source = source
         self.build_log = ""
+        self.refcount = 1
         self._built: dict[int, kir.CompiledModule] = {}
+        self._build_lock = threading.Lock()
 
     @property
     def is_built(self) -> bool:
         return bool(self._built)
 
+    @classmethod
+    def shared(cls, context: Context, source: str, device: Device) -> "Program":
+        """Acquire the context's program for *source*, built for *device*.
+
+        Concurrent acquirers (actor threads) share one Program object.
+        The first build for a (source, device-spec) pair in the context
+        pays the full compile cost; later acquisitions find the program
+        binary already registered and pay only a cheap API charge — the
+        ``clCreateProgramWithBinary`` fast path of a real runtime.
+        """
+        with context._registry_lock:
+            program = context._program_registry.get(source)
+            if program is None:
+                program = cls(context, source)
+                context._program_registry[source] = program
+            else:
+                program.retain()
+        with program._build_lock:
+            if device.id in program._built:
+                context.charge(
+                    "host",
+                    device.spec.api_call_ns,
+                    name="load_program_binary",
+                    args={"device": device.name},
+                )
+                return program
+        return program.build([device])
+
     def build(self, devices: Optional[list[Device]] = None) -> "Program":
         """Compile the source for *devices* (default: every context device).
 
-        Charges each device's one-off compile cost to the ledger and
-        raises :class:`CLBuildProgramFailure` with a build log on error.
+        The first build for a (source, device-spec) pair in this context
+        charges the device's one-off compile cost; rebuilding the same
+        pair through a different Program object charges only an API call
+        ("load_program_binary") and reuses the registered binary.
+        Raises :class:`CLBuildProgramFailure` with a build log on error.
         """
         targets = devices if devices is not None else self.context.devices
         for device in targets:
@@ -47,22 +81,40 @@ class Program:
                 raise CLInvalidValue(
                     f"device {device.name!r} is not in the context"
                 )
-            if device.id in self._built:
-                continue
-            try:
-                compiled = device.compile_source(self.source)
-            except CLBuildProgramFailure as exc:
-                self.build_log = exc.build_log
-                raise
-            self.context.charge(
-                "host",
-                device.spec.compile_ns,
-                name="build_program",
-                args={"device": device.name},
-            )
-            self._built[device.id] = compiled
-            self.build_log = "build succeeded"
+            with self._build_lock:
+                if device.id in self._built:
+                    continue
+                key = kcache.fingerprint(self.source, device.spec)
+                cached = self.context.program_binary(key)
+                if cached is not None:
+                    self.context.charge(
+                        "host",
+                        device.spec.api_call_ns,
+                        name="load_program_binary",
+                        args={"device": device.name},
+                    )
+                    self._built[device.id] = cached
+                    self.build_log = "build succeeded"
+                    continue
+                try:
+                    compiled = device.compile_source(self.source)
+                except CLBuildProgramFailure as exc:
+                    self.build_log = exc.build_log
+                    raise
+                self.context.charge(
+                    "host",
+                    device.spec.compile_ns,
+                    name="build_program",
+                    args={"device": device.name},
+                )
+                self.context.store_program_binary(key, compiled)
+                self._built[device.id] = compiled
+                self.build_log = "build succeeded"
         return self
+
+    def retain(self) -> None:
+        """Increment the reference count (a shared acquirer)."""
+        self.refcount += 1
 
     def compiled_for(self, device: Device) -> kir.CompiledModule:
         try:
@@ -88,7 +140,16 @@ class Program:
         return [f.name for f in module.kernels()]
 
     def release(self) -> None:
+        """Drop one reference; the last release frees the build state
+        and unregisters the program from the context."""
+        if self.refcount > 0:
+            self.refcount -= 1
+        if self.refcount > 0:
+            return
         self._built.clear()
+        with self.context._registry_lock:
+            if self.context._program_registry.get(self.source) is self:
+                del self.context._program_registry[self.source]
 
 
 class Kernel:
@@ -145,9 +206,9 @@ class Kernel:
                 value = float(value)
         self._args[index] = value
 
-    def bound_args(self, context: Context) -> list:
-        """Materialise the argument list for dispatch (device storage for
-        buffers, raw scalars otherwise)."""
+    def bound_entries(self, context: Context) -> list:
+        """Validated argument list with :class:`Buffer` objects left
+        as-is, so the dispatch tier can choose each buffer's storage."""
         from ..errors import CLInvalidKernelArgs
         from .memory import Buffer
 
@@ -164,10 +225,18 @@ class Kernel:
                         f"kernel {self.name}: buffer for {param.name!r} "
                         "belongs to a different context"
                     )
-                out.append(value.data)
-            else:
-                out.append(value)
+            out.append(value)
         return out
+
+    def bound_args(self, context: Context) -> list:
+        """Materialise the argument list for dispatch (device storage for
+        buffers, raw scalars otherwise)."""
+        from .memory import Buffer
+
+        return [
+            v.data if isinstance(v, Buffer) else v
+            for v in self.bound_entries(context)
+        ]
 
     def runner(self, device: Device) -> kir.KernelRunner:
         return self.program.compiled_for(device).kernel_runner(self.name)

@@ -22,6 +22,7 @@ from ..errors import (
 )
 from ..trace import current_tracer
 from .context import Context
+from .dispatch import dispatch_kernel_ns
 from .memory import Buffer
 from .platform import Device
 
@@ -212,9 +213,10 @@ class CommandQueue:
                 f"work-group of {wg} exceeds device limit "
                 f"{self.device.spec.max_work_group_size}"
             )
-        args = kernel.bound_args(self.context)
-        item_ops = kernel.runner(self.device).run_range(args, gsz, lsz)
-        ns = self.device.spec.kernel_ns(item_ops, gsz, lsz)
+        entries = kernel.bound_entries(self.context)
+        ns = dispatch_kernel_ns(
+            kernel.runner(self.device), self.device.spec, entries, gsz, lsz
+        )
         with self.context.ledger._lock:
             self.context.ledger.kernel_launches += 1
         return self._record(

@@ -498,9 +498,12 @@ class EnsembleVM:
             plan.device_type, plan.device_index, plan.platform_index
         )
         if actor._program_cache is None:
-            program = Program(env.context, plan.kernel_source)
-            program.build([env.device])
-            actor._program_cache = program
+            # Each actor acquires once; actors sharing identical kernel
+            # source get the context's program, paying the full compile
+            # only on the first acquisition (binary-load charge after).
+            actor._program_cache = Program.shared(
+                env.context, plan.kernel_source, env.device
+            )
         program = actor._program_cache
         kernel = program.create_kernel(plan.kernel_name)
         queue = env.queue

@@ -234,19 +234,34 @@ class Tracer:
         with self._lock:
             return [s for s in self.spans if s.track == track]
 
-    def summary(self) -> dict[str, float]:
+    def summary(self, with_counters: bool = False) -> dict[str, Any]:
         """The Figure 3 four-segment breakdown, from raw cost spans.
 
         Returns ``{"to_device", "from_device", "kernel", "overhead"}``
         in nanoseconds — the same vocabulary (and, for a run measured by
         the harness, the same totals) as
         :meth:`repro.opencl.costmodel.CostLedger.breakdown`.
+
+        With ``with_counters=True`` a fifth key ``"counters"`` is added
+        holding the run's kernel-cache statistics (``kcache.hit``,
+        ``kcache.miss``, ``kcache.evict``, plus the disk-tier events
+        when enabled), so per-run cache behaviour is reportable next to
+        the cost segments without disturbing the four-key shape existing
+        consumers pattern-match on.
         """
-        totals = {segment: 0.0 for segment in SEGMENT_OF.values()}
+        totals: dict[str, Any] = {
+            segment: 0.0 for segment in SEGMENT_OF.values()
+        }
         with self._lock:
             for span in self.spans:
                 if span.cost:
                     totals[SEGMENT_OF[span.category]] += span.dur_ns
+        if with_counters:
+            totals["counters"] = {
+                name: value
+                for name, value in self.counters().items()
+                if name.startswith("kcache.")
+            }
         return totals
 
 
@@ -278,8 +293,13 @@ class NullTracer:
     def spans_on(self, track: str) -> list:
         return []
 
-    def summary(self) -> dict[str, float]:
-        return {segment: 0.0 for segment in SEGMENT_OF.values()}
+    def summary(self, with_counters: bool = False) -> dict[str, Any]:
+        totals: dict[str, Any] = {
+            segment: 0.0 for segment in SEGMENT_OF.values()
+        }
+        if with_counters:
+            totals["counters"] = {}
+        return totals
 
 
 NULL_TRACER = NullTracer()

@@ -1,0 +1,160 @@
+"""Program dedup and the clCreateProgramWithBinary cost rule.
+
+Within one context, the first build of a (source, device-spec) pair
+pays the device's full ``compile_ns``; any later build of the same pair
+— through the same or a different Program object — finds the binary in
+the context registry and pays only a cheap ``load_program_binary`` API
+call.  ``Context.reset_ledger`` drops that state so every measured run
+prices its own compiles.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import lud
+from repro.harness import scaled_devices
+from repro.opencl import (
+    Context,
+    Program,
+    get_platforms,
+    reset_platforms,
+)
+from repro.opencl.api import (
+    clCreateProgramWithSource,
+    clReleaseProgram,
+)
+from repro.trace import tracing
+
+SOURCE = """
+__kernel void twice(__global float *a) {
+    int i = get_global_id(0);
+    a[i] = a[i] * 2.0;
+}
+"""
+
+OTHER_SOURCE = """
+__kernel void thrice(__global float *a) {
+    int i = get_global_id(0);
+    a[i] = a[i] * 3.0;
+}
+"""
+
+
+@pytest.fixture(autouse=True)
+def _default_platforms():
+    reset_platforms()
+    yield
+    reset_platforms()
+
+
+@pytest.fixture()
+def gpu_context():
+    platform = get_platforms()[0]
+    device = next(d for d in platform.devices if d.device_type == "GPU")
+    return Context([device]), device
+
+
+def _span_names(tracer):
+    return [s.name for s in tracer.spans if s.cost]
+
+
+class TestBinaryCostRule:
+    def test_first_build_charges_compile_ns(self, gpu_context):
+        context, device = gpu_context
+        with tracing() as tr:
+            Program(context, SOURCE).build([device])
+        assert _span_names(tr).count("build_program") == 1
+        assert tr.summary()["overhead"] == device.spec.compile_ns
+
+    def test_rebuild_of_same_pair_charges_api_call(self, gpu_context):
+        context, device = gpu_context
+        first = Program(context, SOURCE).build([device])
+        with tracing() as tr:
+            second = Program(context, SOURCE).build([device])
+        names = _span_names(tr)
+        assert names.count("load_program_binary") == 1
+        assert names.count("build_program") == 0
+        assert tr.summary()["overhead"] == device.spec.api_call_ns
+        # Same compiled artefact object, not merely an equal one.
+        assert second.compiled_for(device) is first.compiled_for(device)
+
+    def test_different_source_still_pays_full_compile(self, gpu_context):
+        context, device = gpu_context
+        Program(context, SOURCE).build([device])
+        with tracing() as tr:
+            Program(context, OTHER_SOURCE).build([device])
+        assert _span_names(tr).count("build_program") == 1
+
+    def test_other_context_does_not_share_binaries(self, gpu_context):
+        context, device = gpu_context
+        Program(context, SOURCE).build([device])
+        other = Context([device])
+        with tracing() as tr:
+            Program(other, SOURCE).build([device])
+        assert _span_names(tr).count("build_program") == 1
+
+    def test_reset_ledger_drops_binary_registry(self, gpu_context):
+        context, device = gpu_context
+        Program(context, SOURCE).build([device])
+        context.reset_ledger()
+        with tracing() as tr:
+            Program(context, SOURCE).build([device])
+        assert _span_names(tr).count("build_program") == 1
+        assert _span_names(tr).count("load_program_binary") == 0
+
+
+class TestProgramDedup:
+    def test_create_with_source_returns_shared_object(self, gpu_context):
+        context, _ = gpu_context
+        p1 = clCreateProgramWithSource(context, SOURCE)
+        p2 = clCreateProgramWithSource(context, SOURCE)
+        assert p1 is p2
+        assert p1.refcount == 2
+
+    def test_release_keeps_build_state_until_last_reference(
+        self, gpu_context
+    ):
+        context, device = gpu_context
+        p1 = clCreateProgramWithSource(context, SOURCE)
+        p1.build([device])
+        p2 = clCreateProgramWithSource(context, SOURCE)
+        clReleaseProgram(p2)
+        assert p1.is_built
+        clReleaseProgram(p1)
+        assert not p1.is_built
+        # A fresh create after the last release is a new program.
+        p3 = clCreateProgramWithSource(context, SOURCE)
+        assert p3 is not p1
+
+    def test_shared_acquires_existing_build(self, gpu_context):
+        context, device = gpu_context
+        first = Program.shared(context, SOURCE, device)
+        with tracing() as tr:
+            second = Program.shared(context, SOURCE, device)
+        assert second is first
+        assert first.refcount == 2
+        names = _span_names(tr)
+        assert names.count("load_program_binary") == 1
+        assert names.count("build_program") == 0
+
+
+class TestActorPipelineSharing:
+    def test_lud_actor_pipeline_builds_once(self):
+        """The three lud kernel actors share one KERNEL_SOURCE: the
+        first actor compiles it, the other two load the registered
+        binary.  This is the only workload in the repo where the new
+        cost rule is visible (the Ensemble compiler emits distinct
+        source per OpenCL actor, so VM workloads compile each source
+        exactly once anyway)."""
+        from repro import kcache
+
+        kcache.clear()  # other tests may have warmed the wall-clock cache
+        n = 16
+        with scaled_devices(0.08, 1.0, 2048 / n):
+            with tracing() as tr:
+                lud.run_actors(n, "GPU")
+        names = _span_names(tr)
+        assert names.count("build_program") == 1
+        assert names.count("load_program_binary") == 2
+        assert tr.counter("kcache.miss") == 1.0

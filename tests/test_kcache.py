@@ -1,0 +1,180 @@
+"""Unit tests for the content-addressed kernel compilation cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import kcache, kernelc
+from repro.opencl.costmodel import cpu_spec, gpu_spec
+from repro.opencl.platform import Device
+from repro.trace import tracing
+
+SRC_ADD = """
+__kernel void add(__global float *a, __global float *b, __global float *c) {
+    int i = get_global_id(0);
+    c[i] = a[i] + b[i];
+}
+"""
+
+SRC_SCALE = """
+__kernel void scale(__global float *a, float f) {
+    int i = get_global_id(0);
+    a[i] = a[i] * f;
+}
+"""
+
+SRC_NEG = """
+__kernel void neg(__global int *a) {
+    int i = get_global_id(0);
+    a[i] = -a[i];
+}
+"""
+
+
+@pytest.fixture(autouse=True)
+def clean_kcache():
+    kcache.clear()
+    kcache.reset_stats()
+    kcache.configure(max_entries=256, disk_dir="")
+    yield
+    kcache.clear()
+    kcache.reset_stats()
+    kcache.configure(max_entries=256, disk_dir="")
+
+
+class TestKeying:
+    def test_same_source_same_module_object(self):
+        spec = gpu_spec()
+        first = kcache.get_or_build(SRC_ADD, spec)
+        second = kcache.get_or_build(SRC_ADD, spec)
+        assert first is second
+        stats = kcache.stats()
+        assert stats.misses == 1
+        assert stats.hits == 1
+
+    def test_device_name_excluded_from_key(self):
+        assert kcache.fingerprint(
+            SRC_ADD, gpu_spec(name="alpha")
+        ) == kcache.fingerprint(SRC_ADD, gpu_spec(name="beta"))
+
+    def test_spec_parameters_partition_the_cache(self):
+        assert kcache.fingerprint(SRC_ADD, gpu_spec()) != kcache.fingerprint(
+            SRC_ADD, cpu_spec()
+        )
+        assert kcache.get_or_build(SRC_ADD, gpu_spec()) is not (
+            kcache.get_or_build(SRC_ADD, cpu_spec())
+        )
+
+    def test_build_options_partition_the_cache(self):
+        a = kcache.get_or_build(SRC_ADD, None, options="")
+        b = kcache.get_or_build(SRC_ADD, None, options="host")
+        assert a is not b
+
+    def test_identically_parameterised_devices_share(self):
+        d1 = Device(gpu_spec(name="bench run 1"))
+        d2 = Device(gpu_spec(name="bench run 2"))
+        assert d1.compile_source(SRC_ADD) is d2.compile_source(SRC_ADD)
+
+    def test_failed_build_propagates_and_is_not_cached(self):
+        with pytest.raises(Exception):
+            kcache.get_or_build("__kernel void broken(", None)
+        assert kcache.stats().misses == 0
+        with pytest.raises(Exception):
+            kcache.get_or_build("__kernel void broken(", None)
+
+
+class TestLRU:
+    def test_eviction_over_limit(self):
+        kcache.configure(max_entries=2)
+        spec = gpu_spec()
+        first = kcache.get_or_build(SRC_ADD, spec)
+        kcache.get_or_build(SRC_SCALE, spec)
+        kcache.get_or_build(SRC_NEG, spec)  # evicts SRC_ADD
+        assert kcache.stats().evictions == 1
+        rebuilt = kcache.get_or_build(SRC_ADD, spec)
+        assert rebuilt is not first
+        assert kcache.stats().misses == 4
+
+    def test_recent_use_protects_an_entry(self):
+        kcache.configure(max_entries=2)
+        spec = gpu_spec()
+        first = kcache.get_or_build(SRC_ADD, spec)
+        kcache.get_or_build(SRC_SCALE, spec)
+        kcache.get_or_build(SRC_ADD, spec)  # touch: SRC_SCALE is now LRU
+        kcache.get_or_build(SRC_NEG, spec)  # evicts SRC_SCALE
+        assert kcache.get_or_build(SRC_ADD, spec) is first
+
+
+class TestDiskTier:
+    def test_round_trip(self, tmp_path):
+        kcache.configure(disk_dir=str(tmp_path))
+        spec = gpu_spec()
+        kcache.get_or_build(SRC_ADD, spec)
+        assert kcache.stats().disk_stores == 1
+        assert list(tmp_path.glob("*.kbin"))
+        kcache.clear()  # drop the in-memory tier only
+        reloaded = kcache.get_or_build(SRC_ADD, spec)
+        assert kcache.stats().disk_hits == 1
+        runner = reloaded.kernel_runner("add")
+        a, b, c = [1.0, 2.0], [10.0, 20.0], [0.0, 0.0]
+        runner.run_range([a, b, c], [2], [1])
+        assert c == [11.0, 22.0]
+
+    def test_corrupt_entry_falls_back_to_fresh_build(self, tmp_path):
+        kcache.configure(disk_dir=str(tmp_path))
+        spec = gpu_spec()
+        kcache.get_or_build(SRC_ADD, spec)
+        (path,) = tmp_path.glob("*.kbin")
+        path.write_bytes(b"not a pickle")
+        kcache.clear()
+        compiled = kcache.get_or_build(SRC_ADD, spec)
+        assert compiled.kernel_runner("add") is not None
+        assert kcache.stats().disk_hits == 0
+
+    def test_disabled_by_default(self, tmp_path):
+        kcache.get_or_build(SRC_ADD, gpu_spec())
+        assert kcache.stats().disk_stores == 0
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("source", [SRC_ADD, SRC_SCALE, SRC_NEG])
+    def test_cached_compile_equals_fresh_compile(self, source):
+        """Property: a cache hit yields a module whose execution is
+        indistinguishable from a freshly-built one."""
+        fresh = kernelc.build(source)
+        cached = kcache.get_or_build(source, gpu_spec())
+        (kname,) = [f.name for f in fresh.module.kernels()]
+        n = 32
+        args_fresh, args_cached = [], []
+        for p in fresh.module.kernel(kname).params:
+            if p.type.is_array:
+                data = [float(i % 7 + 1) if p.type.element.kind == "float"
+                        else i % 7 + 1 for i in range(n)]
+                args_fresh.append(list(data))
+                args_cached.append(list(data))
+            else:
+                args_fresh.append(2.0)
+                args_cached.append(2.0)
+        ops_fresh = fresh.kernel_runner(kname).run_range(
+            args_fresh, [n], [4]
+        )
+        ops_cached = cached.kernel_runner(kname).run_range(
+            args_cached, [n], [4]
+        )
+        assert ops_fresh == ops_cached
+        assert args_fresh == args_cached
+
+
+class TestCounters:
+    def test_trace_counters_and_summary(self):
+        with tracing() as tr:
+            kcache.get_or_build(SRC_ADD, gpu_spec())
+            kcache.get_or_build(SRC_ADD, gpu_spec())
+        assert tr.counter("kcache.miss") == 1
+        assert tr.counter("kcache.hit") == 1
+        summary = tr.summary(with_counters=True)
+        assert summary["counters"] == {"kcache.miss": 1.0, "kcache.hit": 1.0}
+        # The default shape stays exactly the four figure segments.
+        assert set(tr.summary()) == {
+            "to_device", "from_device", "kernel", "overhead",
+        }
