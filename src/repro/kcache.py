@@ -61,6 +61,7 @@ class KCacheStats:
     evictions: int = 0
     disk_hits: int = 0
     disk_stores: int = 0
+    disk_evictions: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -69,6 +70,7 @@ class KCacheStats:
             "evictions": self.evictions,
             "disk_hits": self.disk_hits,
             "disk_stores": self.disk_stores,
+            "disk_evictions": self.disk_evictions,
         }
 
 
@@ -76,6 +78,8 @@ _lock = threading.Lock()
 _entries: "OrderedDict[str, Any]" = OrderedDict()
 _max_entries = _DEFAULT_MAX_ENTRIES
 _disk_dir: Optional[str] = os.environ.get(DISK_ENV_VAR) or None
+#: Size cap (bytes) for the disk tier; ``None`` leaves it unbounded.
+_disk_max_bytes: Optional[int] = None
 _stats = KCacheStats()
 
 
@@ -119,10 +123,18 @@ def module_fingerprint(module: Any, spec: Any = None, options: str = "") -> str:
 
 
 def configure(
-    max_entries: Optional[int] = None, disk_dir: Optional[str] = None
+    max_entries: Optional[int] = None,
+    disk_dir: Optional[str] = None,
+    disk_max_bytes: Optional[int] = None,
 ) -> None:
-    """Adjust cache limits / enable the disk tier (tests, tooling)."""
-    global _max_entries, _disk_dir
+    """Adjust cache limits / enable the disk tier (tests, tooling).
+
+    ``disk_max_bytes`` caps the total size of ``*.kbin`` files in the
+    disk tier; whenever a store pushes past the cap, the oldest entries
+    (by modification time) are deleted until the tier fits.  Pass ``0``
+    or a negative value to lift a previously set cap.
+    """
+    global _max_entries, _disk_dir, _disk_max_bytes
     with _lock:
         if max_entries is not None:
             if max_entries < 1:
@@ -130,11 +142,20 @@ def configure(
             _max_entries = max_entries
         if disk_dir is not None:
             _disk_dir = disk_dir or None
+        if disk_max_bytes is not None:
+            _disk_max_bytes = disk_max_bytes if disk_max_bytes > 0 else None
         _evict_over_limit_locked()
+    _evict_disk_over_limit()
 
 
 def disk_dir() -> Optional[str]:
+    """The disk-tier directory, or ``None`` when the tier is off."""
     return _disk_dir
+
+
+def disk_max_bytes() -> Optional[int]:
+    """The disk-tier size cap in bytes, or ``None`` when unbounded."""
+    return _disk_max_bytes
 
 
 def clear() -> None:
@@ -144,11 +165,13 @@ def clear() -> None:
 
 
 def stats() -> KCacheStats:
+    """A snapshot of the cumulative cache statistics."""
     with _lock:
         return KCacheStats(**_stats.as_dict())
 
 
 def reset_stats() -> None:
+    """Zero the statistics (the cached entries are untouched)."""
     global _stats
     with _lock:
         _stats = KCacheStats()
@@ -207,6 +230,44 @@ def _disk_store(key: str, compiled: Any) -> None:
     with _lock:
         _stats.disk_stores += 1
     _count("disk_store")
+    _evict_disk_over_limit()
+
+
+def _evict_disk_over_limit() -> None:
+    """Delete oldest-mtime ``*.kbin`` entries until the tier fits the cap."""
+    if _disk_dir is None or _disk_max_bytes is None:
+        return
+    try:
+        names = os.listdir(_disk_dir)
+    except OSError:
+        return
+    entries = []
+    total = 0
+    for name in names:
+        if not name.endswith(".kbin"):
+            continue
+        path = os.path.join(_disk_dir, name)
+        try:
+            st = os.stat(path)
+        except OSError:
+            continue
+        entries.append((st.st_mtime, path, st.st_size))
+        total += st.st_size
+    entries.sort()  # oldest modification time first; path breaks ties
+    evicted = 0
+    for _, path, size in entries:
+        if total <= _disk_max_bytes:
+            break
+        try:
+            os.remove(path)
+        except OSError:
+            continue
+        total -= size
+        evicted += 1
+    if evicted:
+        with _lock:
+            _stats.disk_evictions += evicted
+        _count("disk_evict", evicted)
 
 
 def _lookup(key: str) -> Optional[Any]:

@@ -21,6 +21,7 @@ from .costmodel import (  # noqa: F401
     SimClock,
     cpu_spec,
     gpu_spec,
+    group_warp_costs,
 )
 from .memory import (  # noqa: F401
     Buffer,
@@ -40,9 +41,12 @@ from .platform import (  # noqa: F401
 )
 from .program import Kernel, Program  # noqa: F401
 from .queue import (  # noqa: F401
+    BARRIER,
+    CL_QUEUE_OUT_OF_ORDER_EXEC_MODE,
     COPY_BUFFER,
     CommandQueue,
     Event,
+    MARKER,
     NDRANGE_KERNEL,
     READ_BUFFER,
     WRITE_BUFFER,

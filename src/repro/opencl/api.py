@@ -18,7 +18,11 @@ from .context import Context
 from .memory import Buffer, COPY_HOST_PTR, READ_ONLY, READ_WRITE, WRITE_ONLY
 from .platform import Device, Platform, get_platforms
 from .program import Kernel, Program
-from .queue import CommandQueue, Event
+from .queue import (
+    CL_QUEUE_OUT_OF_ORDER_EXEC_MODE,
+    CommandQueue,
+    Event,
+)
 
 # Device-type constants, CL style.
 CL_DEVICE_TYPE_CPU = "CPU"
@@ -48,10 +52,20 @@ def clCreateContext(devices: Sequence[Device]) -> Context:
     return Context(devices)
 
 
-def clCreateCommandQueue(context: Context, device: Device) -> CommandQueue:
-    """Create an in-order, profiling command queue on *device*."""
+def clCreateCommandQueue(
+    context: Context, device: Device, properties: Sequence[str] = ()
+) -> CommandQueue:
+    """Create a profiling command queue on *device*.
+
+    In-order by default; pass ``CL_QUEUE_OUT_OF_ORDER_EXEC_MODE`` in
+    *properties* for the hazard-tracking out-of-order scheduler.
+    """
     context.charge_api_call(device)
-    return CommandQueue(context, device)
+    return CommandQueue(
+        context,
+        device,
+        out_of_order=CL_QUEUE_OUT_OF_ORDER_EXEC_MODE in properties,
+    )
 
 
 def clCreateBuffer(
@@ -87,16 +101,19 @@ def clCreateProgramWithSource(context: Context, source: str) -> Program:
 def clBuildProgram(
     program: Program, devices: Optional[list[Device]] = None
 ) -> None:
+    """Compile *program* for *devices* (default: all context devices)."""
     program.context.charge_api_call()
     program.build(devices)
 
 
 def clCreateKernel(program: Program, name: str) -> Kernel:
+    """Mine the built *program* for kernel *name*."""
     program.context.charge_api_call()
     return program.create_kernel(name)
 
 
 def clSetKernelArg(kernel: Kernel, index: int, value) -> None:
+    """Bind argument *index* (a Buffer for array params, scalar else)."""
     kernel.program.context.charge_api_call()
     kernel.set_arg(index, value)
 
@@ -107,6 +124,7 @@ def clEnqueueWriteBuffer(
     blocking: bool,
     host_data: Sequence,
 ) -> Event:
+    """Copy *host_data* into the device buffer (host -> device)."""
     queue.context.charge_api_call(queue.device)
     return queue.enqueue_write_buffer(buffer, host_data)
 
@@ -114,6 +132,7 @@ def clEnqueueWriteBuffer(
 def clEnqueueReadBuffer(
     queue: CommandQueue, buffer: Buffer, blocking: bool, host_out: list
 ) -> Event:
+    """Copy the device buffer back into *host_out* (device -> host)."""
     queue.context.charge_api_call(queue.device)
     return queue.enqueue_read_buffer(buffer, host_out)
 
@@ -125,6 +144,7 @@ def clEnqueueNDRangeKernel(
     global_size: Sequence[int],
     local_size: Optional[Sequence[int]] = None,
 ) -> Event:
+    """Launch *kernel* over the NDRange on *queue*'s device."""
     if work_dim != len(global_size):
         raise CLInvalidValue(
             f"work_dim {work_dim} != len(global_size) {len(global_size)}"
@@ -133,34 +153,57 @@ def clEnqueueNDRangeKernel(
     return queue.enqueue_nd_range_kernel(kernel, global_size, local_size)
 
 
+def clEnqueueMarkerWithWaitList(
+    queue: CommandQueue, wait_for: Optional[Sequence[Event]] = None
+) -> Event:
+    """A zero-cost event completing when the waited-on commands have."""
+    queue.context.charge_api_call(queue.device)
+    return queue.enqueue_marker(wait_for)
+
+
+def clEnqueueBarrierWithWaitList(
+    queue: CommandQueue, wait_for: Optional[Sequence[Event]] = None
+) -> Event:
+    """An ordering point: later commands start after it completes."""
+    queue.context.charge_api_call(queue.device)
+    return queue.enqueue_barrier(wait_for)
+
+
 def clFinish(queue: CommandQueue) -> None:
+    """Block until the queue drains (a schedule fence when out-of-order)."""
     queue.context.charge_api_call(queue.device)
     queue.finish()
 
 
 def clGetEventProfilingInfo(event: Event, name: str) -> float:
+    """CL_PROFILING_COMMAND_{QUEUED,SUBMIT,START,END} lookup."""
     return event.profiling_info(name)
 
 
 def clReleaseMemObject(buffer: Buffer) -> None:
+    """Release *buffer*; later use raises CLMemObjectReleased."""
     buffer.context.charge_api_call()
     buffer.release()
 
 
 def clReleaseKernel(kernel: Kernel) -> None:
+    """Drop the kernel's argument bindings."""
     kernel.program.context.charge_api_call()
     kernel.release()
 
 
 def clReleaseProgram(program: Program) -> None:
+    """Drop one program reference (the last frees its build state)."""
     program.context.charge_api_call()
     program.release()
 
 
 def clReleaseCommandQueue(queue: CommandQueue) -> None:
+    """Detach *queue* from its context (commands stay priced)."""
     queue.context.charge_api_call(queue.device)
     queue.release()
 
 
 def clReleaseContext(context: Context) -> None:
+    """Release the context and any buffers still alive in it."""
     context.release()

@@ -85,7 +85,128 @@ class Context:
             self._binary_cache[key] = compiled
 
     def has_device(self, device: Device) -> bool:
+        """Whether *device* is one of this context's devices."""
         return device in self.devices
+
+    def queue_for(self, device: Device, out_of_order: bool = False):
+        """This context's command queue on *device*, created on demand.
+
+        Returns the first live queue already bound to *device* (whatever
+        its mode); only when none exists is a new queue created with the
+        requested *out_of_order* mode.  Keeps the runtime's
+        one-queue-per-device policy intact for multi-device dispatch.
+        """
+        from .queue import CommandQueue
+
+        for queue in self._queues:
+            if queue.device is device and not queue.released:
+                return queue
+        return CommandQueue(self, device, out_of_order=out_of_order)
+
+    def enqueue_nd_range(
+        self,
+        kernel,
+        global_size: Sequence[int],
+        local_size: Optional[Sequence[int]] = None,
+        out_of_order: bool = False,
+    ) -> list:
+        """Dispatch one NDRange across *all* devices of this context.
+
+        On a single-device context this is exactly
+        :meth:`~repro.opencl.queue.CommandQueue.enqueue_nd_range_kernel`
+        on that device's queue.  On a multi-device context the range is
+        split along its outermost dimension at work-group granularity,
+        proportional to device throughput (EngineCL-style runtime work
+        splitting): the kernel executes once — buffer contents are
+        bit-identical to single-device execution — and each device is
+        charged its own slice (warp maxima folded with its SIMD width)
+        plus the broadcast/gather transfer traffic of participating in
+        the split.  Returns the list of per-device kernel events.
+        """
+        from . import dispatch
+        from .memory import Buffer
+
+        queues = [self.queue_for(d, out_of_order) for d in self.devices]
+        if len(self.devices) == 1:
+            return [
+                queues[0].enqueue_nd_range_kernel(
+                    kernel, global_size, local_size
+                )
+            ]
+        # Validate against every device; the strictest work-group limit
+        # picks the local size when the caller passed none.
+        strictest = min(
+            queues, key=lambda q: q.device.spec.max_work_group_size
+        )
+        gsz, lsz = strictest.check_nd_range(global_size, local_size)
+        for queue in queues:
+            queue.check_nd_range(gsz, lsz)
+
+        total_groups = gsz[-1] // lsz[-1]
+        weights = [dispatch.device_weight(d.spec) for d in self.devices]
+        shares = dispatch.split_share_counts(total_groups, weights)
+        participating = [
+            (queue, share) for queue, share in zip(queues, shares) if share
+        ]
+        if len(participating) == 1:
+            return [
+                participating[0][0].enqueue_nd_range_kernel(
+                    kernel, gsz, lsz
+                )
+            ]
+
+        entries = kernel.bound_entries(self)
+        reads, writes = kernel.buffer_access(entries)
+        primary = participating[0][0]
+        parts = dispatch.multi_device_kernel_ns(
+            kernel.runner(primary.device),
+            [q.device.spec for q, _ in participating],
+            [share for _, share in participating],
+            entries,
+            gsz,
+            lsz,
+        )
+        read_bufs = [e for e in entries
+                     if isinstance(e, Buffer) and e.id in reads]
+        written_bufs = [e for e in entries
+                        if isinstance(e, Buffer) and e.id in writes]
+        total_items = 1
+        for s in gsz:
+            total_items *= s
+
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.count("dispatch.split")
+        events = []
+        for index, ((queue, _), part) in enumerate(zip(participating, parts)):
+            assert part is not None
+            sub_gsz, n_items, ns = part
+            if index > 0:
+                # Secondary devices pay the host link: inputs are
+                # broadcast to them, and their output slice comes back.
+                for buf in read_bufs:
+                    queue.enqueue_priced_transfer(
+                        "h2d", buf, buf.nbytes, split=kernel.name
+                    )
+                for buf in written_bufs:
+                    share_bytes = buf.nbytes * n_items // total_items
+                    queue.enqueue_priced_transfer(
+                        "d2h", buf, share_bytes, split=kernel.name
+                    )
+            events.append(
+                queue.enqueue_priced_kernel(
+                    kernel.name,
+                    ns,
+                    reads=reads,
+                    writes=writes,
+                    global_size=list(sub_gsz),
+                    local_size=list(lsz),
+                    split=f"{index + 1}/{len(participating)}",
+                )
+            )
+        if tracer.enabled:
+            tracer.count("dispatch.split.devices", len(participating))
+        return events
 
     def charge(
         self,

@@ -80,7 +80,7 @@ class DeviceSpec:
         ``item_ops`` is in linear order (dim0 fastest), as produced by
         the execution engine.
         """
-        group_warps = _group_warp_costs(
+        group_warps = group_warp_costs(
             item_ops, global_size, local_size, self.simd_width
         )
         return self.kernel_ns_from_group_warps(group_warps)
@@ -102,7 +102,7 @@ class DeviceSpec:
         return self.kernel_launch_ns + makespan
 
 
-def _group_warp_costs(
+def group_warp_costs(
     item_ops: Sequence[int],
     global_size: Sequence[int],
     local_size: Sequence[int],
@@ -112,7 +112,10 @@ def _group_warp_costs(
 
     A warp is ``simd`` consecutive work-items of the same group (taken
     in linear intra-group order); its cost is the maximum of its lanes,
-    modelling lock-step divergence.
+    modelling lock-step divergence.  Public because the multi-device
+    dispatcher folds each device's NDRange slice separately (with that
+    device's SIMD width) — slicing at work-group boundaries keeps the
+    per-group folds bit-identical to a whole-range fold.
     """
     g = list(global_size) + [1] * (3 - len(global_size))
     l = list(local_size) + [1] * (3 - len(local_size))
@@ -137,6 +140,10 @@ def _group_warp_costs(
         ]
         out.append(warps)
     return out
+
+
+#: Backwards-compatible alias (pre-multi-device name).
+_group_warp_costs = group_warp_costs
 
 
 def _schedule(group_ns: Sequence[float], compute_units: int) -> float:

@@ -1,4 +1,5 @@
-"""Execution-tier selection for NDRange dispatches.
+"""Execution-tier selection and multi-device splitting for NDRange
+dispatches.
 
 Pricing a kernel dispatch needs its per-group warp op maxima; how those
 are obtained is purely a host wall-clock concern.  This module picks the
@@ -20,14 +21,24 @@ Group-mode kernels (barriers / local memory) always run the lock-step
 generator engine and are priced through ``DeviceSpec.kernel_ns``
 unchanged.  All tiers produce identical warp maxima (tests assert it),
 so simulated nanoseconds never depend on the tier chosen.
+
+The module also houses the **multi-device split** machinery
+(:func:`split_share_counts`, :func:`multi_device_kernel_ns`) used by
+:meth:`repro.opencl.context.Context.enqueue_nd_range`: one NDRange is
+executed once, then sliced along its outermost dimension at work-group
+boundaries, and each device's slice is folded into warp maxima with
+*that device's* SIMD width and priced on its own spec — deterministic,
+and bit-identical in buffer contents to single-device execution because
+only one execution ever happens.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
+from ..errors import CLInvalidValue
 from .. import kir
-from .costmodel import DeviceSpec
+from .costmodel import DeviceSpec, group_warp_costs
 from .memory import HAVE_NUMPY, Buffer
 
 #: Below this many work-items the scalar warp-fold runner beats the
@@ -45,6 +56,7 @@ def set_legacy_execution(flag: bool) -> None:
 
 
 def use_legacy() -> bool:
+    """Whether the legacy per-item execution path is forced on."""
     return _legacy
 
 
@@ -94,3 +106,72 @@ def dispatch_kernel_ns(
         _listify(raw_args), gsz, lsz, spec.simd_width
     )
     return spec.kernel_ns_from_group_warps(group_warps)
+
+
+# -- multi-device splitting -------------------------------------------------
+
+
+def device_weight(spec: DeviceSpec) -> float:
+    """Relative kernel throughput used to apportion work-groups."""
+    return spec.lanes * spec.ops_per_ns
+
+
+def split_share_counts(total: int, weights: Sequence[float]) -> list[int]:
+    """Deterministically apportion *total* units over *weights*.
+
+    Largest-remainder assignment: every device gets ``floor(total *
+    w/sum)``, leftovers go to the largest fractional remainders (ties
+    broken by position).  Shares always sum to *total*; a zero share
+    simply leaves that device out of the dispatch.
+    """
+    if total < 0:
+        raise CLInvalidValue("cannot split a negative work amount")
+    wsum = float(sum(weights))
+    if wsum <= 0:
+        raise CLInvalidValue("device weights must be positive")
+    shares = [int(total * w / wsum) for w in weights]
+    remainders = [
+        (total * w / wsum - share, -i)
+        for i, (w, share) in enumerate(zip(weights, shares))
+    ]
+    for _, neg_i in sorted(remainders, reverse=True)[: total - sum(shares)]:
+        shares[-neg_i] += 1
+    return shares
+
+
+def multi_device_kernel_ns(
+    runner: "kir.KernelRunner",
+    specs: Sequence[DeviceSpec],
+    shares: Sequence[int],
+    raw_args: Sequence,
+    gsz: Sequence[int],
+    lsz: Sequence[int],
+) -> list[Optional[tuple[tuple[int, ...], int, float]]]:
+    """Execute one NDRange once and price each device's slice.
+
+    ``shares`` holds the per-spec work-group counts along the outermost
+    dimension (see :func:`split_share_counts`).  Returns, aligned with
+    *specs*, either ``None`` (zero share) or ``(sub_global_size,
+    n_items, ns)`` where *ns* is that device's simulated kernel time
+    for its slice — warp maxima folded with its own SIMD width,
+    work-groups scheduled over its own compute units.
+    """
+    item_ops = runner.run_range(_listify(raw_args), gsz, lsz)
+    row_items = 1
+    for s in gsz[:-1]:
+        row_items *= s
+    slice_items = row_items * lsz[-1]  # items per outermost work-group row
+    out: list[Optional[tuple[tuple[int, ...], int, float]]] = []
+    group_base = 0
+    for spec, share in zip(specs, shares):
+        if share == 0:
+            out.append(None)
+            continue
+        lo = group_base * slice_items
+        hi = (group_base + share) * slice_items
+        sub_gsz = tuple(gsz[:-1]) + (share * lsz[-1],)
+        warps = group_warp_costs(item_ops[lo:hi], sub_gsz, lsz, spec.simd_width)
+        ns = spec.kernel_ns_from_group_warps(warps)
+        out.append((sub_gsz, hi - lo, ns))
+        group_base += share
+    return out

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import itertools
 import threading
-from typing import Optional
+from typing import Optional, Sequence
 
 from ..errors import CLBuildProgramFailure, CLInvalidValue
 from .. import kcache, kir
@@ -23,6 +23,8 @@ _program_ids = itertools.count(1)
 
 
 class Program:
+    """A runtime-compiled program, mirroring ``cl_program``."""
+
     def __init__(self, context: Context, source: str) -> None:
         if not source.strip():
             raise CLInvalidValue("empty program source")
@@ -160,6 +162,10 @@ class Kernel:
         self.fn = fn
         self.name = fn.name
         self._args: list = [_UNSET] * len(fn.params)
+        #: array parameter names the kernel body reads / writes, used by
+        #: the out-of-order queue scheduler to infer buffer hazards.
+        self._read_params = kir.read_arrays(fn)
+        self._written_params = kir.written_arrays(fn)
 
     @property
     def num_args(self) -> int:
@@ -238,7 +244,35 @@ class Kernel:
             for v in self.bound_entries(context)
         ]
 
+    def buffer_access(
+        self, entries: Sequence
+    ) -> tuple[list[int], list[int]]:
+        """The (read, written) buffer ids among bound *entries*.
+
+        Derived from the kernel body's static array accesses; a buffer
+        bound to a parameter the body neither reads nor writes is
+        conservatively treated as read (it still orders behind writers).
+        """
+        from .memory import Buffer
+
+        reads: list[int] = []
+        writes: list[int] = []
+        for param, value in zip(self.fn.params, entries):
+            if not isinstance(value, Buffer):
+                continue
+            touched = False
+            if param.name in self._read_params:
+                reads.append(value.id)
+                touched = True
+            if param.name in self._written_params:
+                writes.append(value.id)
+                touched = True
+            if not touched:
+                reads.append(value.id)
+        return reads, writes
+
     def runner(self, device: Device) -> kir.KernelRunner:
+        """The executable runner of this kernel compiled for *device*."""
         return self.program.compiled_for(device).kernel_runner(self.name)
 
     def release(self) -> None:

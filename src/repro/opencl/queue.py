@@ -1,22 +1,39 @@
-"""Command queues and profiling events.
+"""Command queues, profiling events, and the queue scheduling model.
 
-In-order queues only: the runtime layer above enforces a single
-command queue per device (paper Section 6.2.1 — multiple queues per
-device showed read races on the authors' stack, and the same policy is
-reproduced here).  Commands execute synchronously but are priced on the
-simulated timeline; each returns an :class:`Event` carrying OpenCL-style
-profiling timestamps, which the harness aggregates into the Figure 3
-to-device / from-device / kernel / overhead segments.
+Queues come in the two OpenCL execution modes:
+
+* **in-order** (the default, paper Section 6.2.1): commands drain
+  strictly in enqueue order.  The runtime layer above keeps a single
+  in-order queue per device — multiple queues per device showed read
+  races on the authors' stack, and the same policy is reproduced here.
+* **out-of-order** (``CL_QUEUE_OUT_OF_ORDER_EXEC_MODE``): commands form
+  a dependency DAG — explicit event wait-lists plus inferred
+  whole-buffer read/write hazards (RAW/WAR/WAW) — and a deterministic
+  list scheduler places each command at the earliest point its
+  dependencies and its device engine allow, so independent commands
+  overlap on the schedule.  Barriers, markers and :meth:`finish` retain
+  their OpenCL ordering semantics.
+
+Commands *execute* synchronously at enqueue time in both modes, so
+buffer contents — and the measured warp maxima the cost model prices —
+are bit-identical regardless of mode; the scheduler only decides where
+each command lands on the queue's schedule timeline.  Each command
+returns an :class:`Event` carrying OpenCL-style profiling timestamps
+(aggregated by the harness into the Figure 3 segments, identically in
+both modes) plus its schedule placement (``sched_start_ns`` /
+``sched_end_ns``), from which :attr:`CommandQueue.makespan_ns` and the
+``queue.overlap_ns`` trace counter are derived.  See
+docs/ARCHITECTURE.md ("The queue scheduling model") for the full
+determinism argument.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
 from ..errors import (
     CLInvalidContext,
-    CLInvalidKernelArgs,
     CLInvalidValue,
     CLInvalidWorkGroupSize,
 )
@@ -27,23 +44,46 @@ from .memory import Buffer
 from .platform import Device
 
 _event_ids = itertools.count(1)
+_queue_ids = itertools.count(1)
 
 # Command types (CL_COMMAND_*-style).
 WRITE_BUFFER = "WRITE_BUFFER"
 READ_BUFFER = "READ_BUFFER"
 COPY_BUFFER = "COPY_BUFFER"
 NDRANGE_KERNEL = "NDRANGE_KERNEL"
+MARKER = "MARKER"
+BARRIER = "BARRIER"
+
+#: Queue-property flag enabling the out-of-order scheduler
+#: (``clCreateCommandQueue(..., properties=[...])``).
+CL_QUEUE_OUT_OF_ORDER_EXEC_MODE = "OUT_OF_ORDER_EXEC_MODE"
+
+#: Device engine each command class occupies on the schedule: transfers
+#: ride the two DMA directions, kernels and device-side copies the
+#: compute engine.  Commands on different engines may overlap in
+#: out-of-order mode; commands on one engine serialize.
+ENGINE_OF = {
+    WRITE_BUFFER: "dma_h2d",
+    READ_BUFFER: "dma_d2h",
+    COPY_BUFFER: "compute",
+    NDRANGE_KERNEL: "compute",
+}
 
 
 class Event:
     """Profiling record of one enqueued command.
 
     Carries the four OpenCL profiling timestamps distinctly: QUEUED is
-    when the host enqueued the command, SUBMIT when the (in-order,
-    immediately flushed) queue handed it to the device — the same
-    instant here — and START when the device actually began it, which
-    is later than SUBMIT whenever the device was still busy with
-    earlier work (queueing delay).  END = START + duration.
+    when the host enqueued the command, SUBMIT when the (immediately
+    flushed) queue handed it to the device — the same instant here —
+    and START when the device actually began it, which is later than
+    SUBMIT whenever the device was still busy with earlier work
+    (queueing delay).  END = START + duration.
+
+    Additionally carries the command's placement on its queue's
+    schedule timeline (``sched_start_ns`` / ``sched_end_ns``, origin 0
+    at queue creation): the serial chain position for an in-order
+    queue, the list-scheduled position for an out-of-order one.
     """
 
     def __init__(
@@ -62,6 +102,9 @@ class Event:
         self.submit_ns = queued_ns if submit_ns is None else submit_ns
         self.start_ns = self.submit_ns if start_ns is None else start_ns
         self.end_ns = self.start_ns + duration_ns
+        #: placement on the owning queue's schedule timeline
+        self.sched_start_ns = 0.0
+        self.sched_end_ns = duration_ns
 
     @property
     def queue_delay_ns(self) -> float:
@@ -70,6 +113,7 @@ class Event:
 
     @property
     def duration_ns(self) -> float:
+        """The command's priced duration (END - START)."""
         return self.end_ns - self.start_ns
 
     def profiling_info(self, name: str) -> float:
@@ -89,29 +133,158 @@ class Event:
 
 
 class CommandQueue:
-    """An in-order command queue bound to one device of a context."""
+    """A command queue bound to one device of a context.
 
-    def __init__(self, context: Context, device: Device) -> None:
+    ``out_of_order=True`` enables the hazard-tracking list scheduler
+    (see the module docstring); the default reproduces the paper's
+    strictly in-order queues byte-for-byte.
+    """
+
+    def __init__(
+        self,
+        context: Context,
+        device: Device,
+        out_of_order: bool = False,
+    ) -> None:
         if not context.has_device(device):
             raise CLInvalidContext(
                 f"device {device.name!r} is not part of the context"
             )
+        self.id = next(_queue_ids)
         self.context = context
         self.device = device
+        self.out_of_order = bool(out_of_order)
         self.events: list[Event] = []
         self.released = False
+        # -- schedule state (all timestamps queue-local, origin 0) ----
+        #: what an in-order drain of the same commands would take
+        self._serial_end = 0.0
+        #: end of the latest-finishing scheduled command (the makespan)
+        self._sched_max_end = 0.0
+        #: per-engine availability (out-of-order mode)
+        self._engine_free: dict[str, float] = {}
+        #: buffer id -> event that last wrote it
+        self._last_writer: dict[int, Event] = {}
+        #: buffer id -> events that read it since its last write
+        self._last_readers: dict[int, list[Event]] = {}
+        #: schedule time all post-barrier/finish commands must respect
+        self._fence_ns = 0.0
+        #: overlap already reported to the tracer counter
+        self._overlap_reported = 0.0
         context._queues.append(self)
+
+    # -- schedule -----------------------------------------------------------
+
+    @property
+    def makespan_ns(self) -> float:
+        """Length of the queue's schedule (max command end, origin 0)."""
+        return self._sched_max_end
+
+    @property
+    def serial_makespan_ns(self) -> float:
+        """What the same command stream takes when drained in order."""
+        return self._serial_end
+
+    @property
+    def overlap_ns(self) -> float:
+        """Schedule time saved vs an in-order drain (0 when in-order)."""
+        return max(0.0, self._serial_end - self._sched_max_end)
+
+    def _schedule(
+        self,
+        event: Event,
+        command: str,
+        ns: float,
+        reads: Iterable[int],
+        writes: Iterable[int],
+        wait_for: Optional[Sequence[Event]],
+    ) -> None:
+        """Place *event* on the schedule timeline and update hazards.
+
+        In-order: chained after the previous command.  Out-of-order:
+        placed at max(engine availability, dependency ends, fence),
+        where dependencies are the explicit *wait_for* events plus the
+        inferred RAW/WAR/WAW hazards on *reads*/*writes*.
+        """
+        serial_start = self._serial_end
+        self._serial_end = serial_start + ns
+        if not self.out_of_order:
+            event.sched_start_ns = serial_start
+            event.sched_end_ns = serial_start + ns
+            self._sched_max_end = self._serial_end
+            return
+
+        ready = self._fence_ns
+        if wait_for:
+            for dep in wait_for:
+                ready = max(ready, dep.sched_end_ns)
+        for buf_id in reads:
+            writer = self._last_writer.get(buf_id)
+            if writer is not None:
+                ready = max(ready, writer.sched_end_ns)
+        for buf_id in writes:
+            writer = self._last_writer.get(buf_id)
+            if writer is not None:
+                ready = max(ready, writer.sched_end_ns)
+            for reader in self._last_readers.get(buf_id, ()):
+                ready = max(ready, reader.sched_end_ns)
+        engine = ENGINE_OF[command]
+        start = max(ready, self._engine_free.get(engine, 0.0))
+        end = start + ns
+        event.sched_start_ns = start
+        event.sched_end_ns = end
+        self._engine_free[engine] = end
+        self._sched_max_end = max(self._sched_max_end, end)
+
+        for buf_id in writes:
+            self._last_writer[buf_id] = event
+            self._last_readers[buf_id] = []
+        for buf_id in reads:
+            self._last_readers.setdefault(buf_id, []).append(event)
+
+        tracer = current_tracer()
+        if tracer.enabled:
+            overlap = self.overlap_ns
+            delta = overlap - self._overlap_reported
+            if delta > 0.0:
+                self._overlap_reported = overlap
+                tracer.count("queue.overlap_ns", delta)
+            tracer.struct_span(
+                command,
+                track=f"sched/queue-{self.id}/{engine}",
+                ts_ns=start,
+                dur_ns=ns,
+                category="sched",
+                args={"ready_ns": ready, "serial_start_ns": serial_start},
+            )
+
+    def _sync_schedule(self) -> None:
+        """Fence the schedule: later commands start after everything
+        scheduled so far (out-of-order ``finish``/barrier semantics)."""
+        self._fence_ns = max(self._fence_ns, self._sched_max_end)
+        self._last_writer.clear()
+        self._last_readers.clear()
 
     # -- helpers -----------------------------------------------------------
 
     def _record(
-        self, command: str, category: str, ns: float, **span_args
+        self,
+        command: str,
+        category: str,
+        ns: float,
+        reads: Iterable[int] = (),
+        writes: Iterable[int] = (),
+        wait_for: Optional[Sequence[Event]] = None,
+        **span_args,
     ) -> Event:
+        """Price one command: schedule it, stamp an Event and charge the
+        context ledger/clock (the cost totals never depend on mode)."""
         queued = self.context.clock.now_ns
         start = self.device.schedule_ns(queued, ns)
         event = Event(
             command, category, queued, ns, submit_ns=queued, start_ns=start
         )
+        self._schedule(event, command, ns, reads, writes, wait_for)
         self.context.charge(
             category,
             ns,
@@ -136,7 +309,12 @@ class CommandQueue:
 
     # -- data movement ------------------------------------------------------
 
-    def enqueue_write_buffer(self, buf: Buffer, host_data: Sequence) -> Event:
+    def enqueue_write_buffer(
+        self,
+        buf: Buffer,
+        host_data: Sequence,
+        wait_for: Optional[Sequence[Event]] = None,
+    ) -> Event:
         """Copy *host_data* into the device buffer (host -> device)."""
         self._check_buffer(buf)
         if len(host_data) != buf.n_elements:
@@ -151,9 +329,17 @@ class CommandQueue:
         tracer = current_tracer()
         if tracer.enabled:
             tracer.count("bytes.to_device", buf.nbytes)
-        return self._record(WRITE_BUFFER, "h2d", ns, nbytes=buf.nbytes)
+        return self._record(
+            WRITE_BUFFER, "h2d", ns,
+            writes=(buf.id,), wait_for=wait_for, nbytes=buf.nbytes,
+        )
 
-    def enqueue_read_buffer(self, buf: Buffer, host_out: list) -> Event:
+    def enqueue_read_buffer(
+        self,
+        buf: Buffer,
+        host_out: list,
+        wait_for: Optional[Sequence[Event]] = None,
+    ) -> Event:
         """Copy the device buffer back into *host_out* (device -> host)."""
         self._check_buffer(buf)
         if len(host_out) != buf.n_elements:
@@ -168,9 +354,17 @@ class CommandQueue:
         tracer = current_tracer()
         if tracer.enabled:
             tracer.count("bytes.from_device", buf.nbytes)
-        return self._record(READ_BUFFER, "d2h", ns, nbytes=buf.nbytes)
+        return self._record(
+            READ_BUFFER, "d2h", ns,
+            reads=(buf.id,), wait_for=wait_for, nbytes=buf.nbytes,
+        )
 
-    def enqueue_copy_buffer(self, src: Buffer, dst: Buffer) -> Event:
+    def enqueue_copy_buffer(
+        self,
+        src: Buffer,
+        dst: Buffer,
+        wait_for: Optional[Sequence[Event]] = None,
+    ) -> Event:
         """Device-to-device copy inside the context (no host link cost;
         charged at kernel-engine speed)."""
         self._check_buffer(src)
@@ -179,17 +373,21 @@ class CommandQueue:
             raise CLInvalidValue("copy between mismatched buffers")
         dst.data[:] = src.data
         ns = src.n_elements / (self.device.spec.lanes * self.device.spec.ops_per_ns)
-        return self._record(COPY_BUFFER, "kernel", ns)
+        return self._record(
+            COPY_BUFFER, "kernel", ns,
+            reads=(src.id,), writes=(dst.id,), wait_for=wait_for,
+        )
 
     # -- kernel dispatch ---------------------------------------------------
 
-    def enqueue_nd_range_kernel(
+    def check_nd_range(
         self,
-        kernel,
         global_size: Sequence[int],
         local_size: Optional[Sequence[int]] = None,
-    ) -> Event:
-        """Launch *kernel* over the NDRange and price the dispatch."""
+    ) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """Validate an NDRange against this queue's device; returns the
+        (global, local) sizes with the device's choice filled in when
+        the caller passed no local size."""
         gsz = tuple(int(s) for s in global_size)
         if not 1 <= len(gsz) <= 3 or any(s <= 0 for s in gsz):
             raise CLInvalidValue(f"bad global size {gsz}")
@@ -213,7 +411,19 @@ class CommandQueue:
                 f"work-group of {wg} exceeds device limit "
                 f"{self.device.spec.max_work_group_size}"
             )
+        return gsz, lsz
+
+    def enqueue_nd_range_kernel(
+        self,
+        kernel,
+        global_size: Sequence[int],
+        local_size: Optional[Sequence[int]] = None,
+        wait_for: Optional[Sequence[Event]] = None,
+    ) -> Event:
+        """Launch *kernel* over the NDRange and price the dispatch."""
+        gsz, lsz = self.check_nd_range(global_size, local_size)
         entries = kernel.bound_entries(self.context)
+        reads, writes = kernel.buffer_access(entries)
         ns = dispatch_kernel_ns(
             kernel.runner(self.device), self.device.spec, entries, gsz, lsz
         )
@@ -223,20 +433,131 @@ class CommandQueue:
             NDRANGE_KERNEL,
             "kernel",
             ns,
+            reads=reads,
+            writes=writes,
+            wait_for=wait_for,
             kernel=kernel.name,
             global_size=list(gsz),
             local_size=list(lsz),
         )
 
+    def enqueue_priced_kernel(
+        self,
+        name: str,
+        ns: float,
+        reads: Iterable[int] = (),
+        writes: Iterable[int] = (),
+        wait_for: Optional[Sequence[Event]] = None,
+        **span_args,
+    ) -> Event:
+        """Record an externally executed, pre-priced kernel share.
+
+        The multi-device dispatcher executes an NDRange once, prices
+        each device's slice separately, and lands each share here so the
+        per-device ledgers, event timelines and hazard tables all see
+        the split parts.
+        """
+        with self.context.ledger._lock:
+            self.context.ledger.kernel_launches += 1
+        return self._record(
+            NDRANGE_KERNEL, "kernel", ns,
+            reads=reads, writes=writes, wait_for=wait_for,
+            kernel=name, **span_args,
+        )
+
+    def enqueue_priced_transfer(
+        self,
+        category: str,
+        buf: Buffer,
+        nbytes: int,
+        wait_for: Optional[Sequence[Event]] = None,
+        **span_args,
+    ) -> Event:
+        """Charge a transfer of *nbytes* of *buf* without moving data.
+
+        Models the broadcast/gather traffic of a multi-device split:
+        secondary devices pay the host-link cost of receiving their
+        inputs and returning their output share, while the data itself
+        already lives in the context's (single-copy) buffer.
+        """
+        self._check_buffer(buf)
+        to_device = category == "h2d"
+        ns = self.device.spec.transfer_ns(nbytes, to_device=to_device)
+        with self.context.ledger._lock:
+            if to_device:
+                self.context.ledger.bytes_to_device += nbytes
+            else:
+                self.context.ledger.bytes_from_device += nbytes
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.count(
+                "bytes.to_device" if to_device else "bytes.from_device",
+                nbytes,
+            )
+        command = WRITE_BUFFER if to_device else READ_BUFFER
+        access = {"writes": (buf.id,)} if to_device else {"reads": (buf.id,)}
+        return self._record(
+            command, category, ns,
+            wait_for=wait_for, nbytes=nbytes, **access, **span_args,
+        )
+
+    # -- synchronisation ----------------------------------------------------
+
+    def enqueue_marker(
+        self, wait_for: Optional[Sequence[Event]] = None
+    ) -> Event:
+        """A zero-duration event completing when *wait_for* (or, with no
+        list, everything enqueued so far) has completed.  Does not hold
+        up later commands."""
+        return self._sync_event(MARKER, wait_for, fence=False)
+
+    def enqueue_barrier(
+        self, wait_for: Optional[Sequence[Event]] = None
+    ) -> Event:
+        """Like a marker, but later commands may not start before it —
+        the OpenCL barrier ordering point (a no-op for in-order queues,
+        which are one long chain already)."""
+        return self._sync_event(BARRIER, wait_for, fence=True)
+
+    def _sync_event(
+        self,
+        command: str,
+        wait_for: Optional[Sequence[Event]],
+        fence: bool,
+    ) -> Event:
+        queued = self.context.clock.now_ns
+        event = Event(command, "kernel", queued, 0.0)
+        if wait_for:
+            at = max((dep.sched_end_ns for dep in wait_for), default=0.0)
+        else:
+            at = self._sched_max_end
+        at = max(at, self._fence_ns)
+        event.sched_start_ns = at
+        event.sched_end_ns = at
+        if fence and self.out_of_order:
+            self._fence_ns = max(self._fence_ns, at)
+            if wait_for is None:
+                self._sync_schedule()
+        self.events.append(event)
+        return event
+
     # -- lifecycle -----------------------------------------------------------
 
     def finish(self) -> None:
-        """Block until queued commands complete (immediate in simulation)."""
+        """Block until queued commands complete (immediate in simulation).
+
+        For an out-of-order queue this is also a schedule ordering
+        point: commands enqueued afterwards start no earlier than
+        everything scheduled so far, exactly like ``clFinish``.
+        """
+        if self.out_of_order:
+            self._sync_schedule()
 
     def flush(self) -> None:
         """Submit queued commands (immediate in simulation)."""
 
     def release(self) -> None:
+        """Detach the queue from its context (commands stay priced)."""
         self.released = True
         try:
             self.context._queues.remove(self)

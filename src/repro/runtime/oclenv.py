@@ -27,6 +27,24 @@ from ..opencl import (
 
 DEFAULT_DEVICE_TYPE = "GPU"
 
+#: When set, newly created per-device runtime queues are out-of-order
+#: (the hazard-tracking scheduler in :mod:`repro.opencl.queue`).  Ledger
+#: totals and buffer contents are unaffected; only the queues' schedule
+#: timelines (``makespan_ns`` / ``overlap_ns``) change.  Toggle it
+#: *before* environments are created (or reset the matrix after).
+_out_of_order = False
+
+
+def set_out_of_order_queues(flag: bool) -> None:
+    """Make queues created by the device matrix out-of-order."""
+    global _out_of_order
+    _out_of_order = bool(flag)
+
+
+def out_of_order_queues() -> bool:
+    """Whether the device matrix creates out-of-order queues."""
+    return _out_of_order
+
 
 @dataclass
 class OpenCLEnvironment:
@@ -89,7 +107,9 @@ class DeviceMatrix:
             env = self._envs.get(key)
             if env is None:
                 context = Context([device], platform)
-                queue = CommandQueue(context, device)
+                queue = CommandQueue(
+                    context, device, out_of_order=_out_of_order
+                )
                 env = OpenCLEnvironment(
                     platform_index, device_index, device, context, queue
                 )

@@ -191,6 +191,26 @@ class Tracer:
         """Context manager recording a structural (cost-free) span."""
         return _SpanHandle(self, name, track, category, args)
 
+    def struct_span(
+        self,
+        name: str,
+        track: str,
+        ts_ns: float,
+        dur_ns: float,
+        category: Optional[str] = None,
+        args: Optional[dict] = None,
+    ) -> None:
+        """Record a structural span at an explicit timestamp.
+
+        Used by the queue scheduler and the multi-device dispatcher,
+        whose spans live on their own schedule timelines rather than at
+        the clock's current position.  Never counted by
+        :meth:`summary` (``cost=False``).
+        """
+        self._append(
+            Span(name, track, ts_ns, dur_ns, category, False, args or {})
+        )
+
     def count(
         self,
         name: str,
@@ -234,7 +254,9 @@ class Tracer:
         with self._lock:
             return [s for s in self.spans if s.track == track]
 
-    def summary(self, with_counters: bool = False) -> dict[str, Any]:
+    def summary(
+        self, with_counters: bool = False, by_track: bool = False
+    ) -> dict[str, Any]:
         """The Figure 3 four-segment breakdown, from raw cost spans.
 
         Returns ``{"to_device", "from_device", "kernel", "overhead"}``
@@ -242,26 +264,42 @@ class Tracer:
         the harness, the same totals) as
         :meth:`repro.opencl.costmodel.CostLedger.breakdown`.
 
-        With ``with_counters=True`` a fifth key ``"counters"`` is added
-        holding the run's kernel-cache statistics (``kcache.hit``,
-        ``kcache.miss``, ``kcache.evict``, plus the disk-tier events
-        when enabled), so per-run cache behaviour is reportable next to
-        the cost segments without disturbing the four-key shape existing
-        consumers pattern-match on.
+        With ``with_counters=True`` a ``"counters"`` key is added
+        holding the run's scheduler and cache statistics — the
+        ``kcache.*`` kernel-cache events, ``queue.*`` out-of-order
+        scheduling gains, and ``dispatch.*`` multi-device split events —
+        so per-run behaviour is reportable next to the cost segments
+        without disturbing the four-key shape existing consumers
+        pattern-match on.
+
+        With ``by_track=True`` a ``"tracks"`` key is added mapping each
+        track (e.g. ``device/<name>``) to its own four-segment
+        sub-breakdown, which makes per-device costs of a multi-device
+        dispatch directly visible.
         """
         totals: dict[str, Any] = {
             segment: 0.0 for segment in SEGMENT_OF.values()
         }
+        tracks: dict[str, dict[str, float]] = {}
         with self._lock:
             for span in self.spans:
                 if span.cost:
-                    totals[SEGMENT_OF[span.category]] += span.dur_ns
+                    segment = SEGMENT_OF[span.category]
+                    totals[segment] += span.dur_ns
+                    if by_track:
+                        sub = tracks.setdefault(
+                            span.track,
+                            {s: 0.0 for s in SEGMENT_OF.values()},
+                        )
+                        sub[segment] += span.dur_ns
         if with_counters:
             totals["counters"] = {
                 name: value
                 for name, value in self.counters().items()
-                if name.startswith("kcache.")
+                if name.startswith(("kcache.", "queue.", "dispatch."))
             }
+        if by_track:
+            totals["tracks"] = tracks
         return totals
 
 
@@ -273,6 +311,9 @@ class NullTracer:
     counter_samples: list = []
 
     def cost_span(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def struct_span(self, *args: Any, **kwargs: Any) -> None:
         pass
 
     def span(self, *args: Any, **kwargs: Any) -> _NullSpanHandle:
@@ -293,12 +334,16 @@ class NullTracer:
     def spans_on(self, track: str) -> list:
         return []
 
-    def summary(self, with_counters: bool = False) -> dict[str, Any]:
+    def summary(
+        self, with_counters: bool = False, by_track: bool = False
+    ) -> dict[str, Any]:
         totals: dict[str, Any] = {
             segment: 0.0 for segment in SEGMENT_OF.values()
         }
         if with_counters:
             totals["counters"] = {}
+        if by_track:
+            totals["tracks"] = {}
         return totals
 
 

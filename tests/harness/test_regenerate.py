@@ -16,6 +16,16 @@ class TestRegenerate:
         assert "without" in text
         assert "x slower" in text
 
+    def test_overlap_ablation_text(self):
+        text = regenerate.regenerate_overlap_ablation(n=12)
+        assert "out-of-order" in text
+        assert "identical" in text
+
+    def test_overlap_ablation_is_deterministic(self):
+        assert regenerate.regenerate_overlap_ablation(n=12) == (
+            regenerate.regenerate_overlap_ablation(n=12)
+        )
+
     def test_figure4_is_deterministic(self):
         assert regenerate.regenerate_figure4(n=12) == (
             regenerate.regenerate_figure4(n=12)
@@ -54,5 +64,6 @@ class TestCheckedInReport:
             "Figure 3e",
             "Figure 4",
             "Movability ablation",
+            "Out-of-order ablation",
         ):
             assert marker in report

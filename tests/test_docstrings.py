@@ -1,0 +1,18 @@
+"""The docstring lint (tools/check_docstrings.py) as a tier-1 test."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "tools"))
+
+import check_docstrings  # noqa: E402
+
+
+def test_documented_core_has_no_missing_docstrings():
+    offences = []
+    for path in check_docstrings.target_files():
+        offences.extend(check_docstrings.missing_docstrings(path))
+    assert offences == []

@@ -35,11 +35,11 @@ __kernel void neg(__global int *a) {
 def clean_kcache():
     kcache.clear()
     kcache.reset_stats()
-    kcache.configure(max_entries=256, disk_dir="")
+    kcache.configure(max_entries=256, disk_dir="", disk_max_bytes=0)
     yield
     kcache.clear()
     kcache.reset_stats()
-    kcache.configure(max_entries=256, disk_dir="")
+    kcache.configure(max_entries=256, disk_dir="", disk_max_bytes=0)
 
 
 class TestKeying:
@@ -134,6 +134,60 @@ class TestDiskTier:
     def test_disabled_by_default(self, tmp_path):
         kcache.get_or_build(SRC_ADD, gpu_spec())
         assert kcache.stats().disk_stores == 0
+
+
+class TestDiskEviction:
+    def _entry_size(self, tmp_path):
+        kcache.configure(disk_dir=str(tmp_path))
+        kcache.get_or_build(SRC_ADD, gpu_spec())
+        (path,) = tmp_path.glob("*.kbin")
+        return path.stat().st_size
+
+    def test_oldest_entries_evicted_over_cap(self, tmp_path):
+        size = self._entry_size(tmp_path)
+        # Room for roughly two entries: storing a third evicts the oldest.
+        kcache.configure(disk_max_bytes=int(size * 2.5))
+        paths = {p.name for p in tmp_path.glob("*.kbin")}
+        import os
+        import time
+
+        spec = gpu_spec()
+        kcache.get_or_build(SRC_SCALE, spec)
+        # Make mtime ordering unambiguous on coarse filesystems.
+        for i, p in enumerate(sorted(tmp_path.glob("*.kbin"),
+                                     key=lambda p: p.name not in paths)):
+            os.utime(p, (time.time() - 100 + i, time.time() - 100 + i))
+        kcache.get_or_build(SRC_NEG, spec)
+        remaining = {p.name for p in tmp_path.glob("*.kbin")}
+        assert len(remaining) == 2
+        assert kcache.stats().disk_evictions == 1
+        # The oldest-mtime file (the SRC_ADD store) is the one gone.
+        assert paths - remaining == paths
+
+    def test_uncapped_tier_never_evicts(self, tmp_path):
+        kcache.configure(disk_dir=str(tmp_path))
+        spec = gpu_spec()
+        for src in (SRC_ADD, SRC_SCALE, SRC_NEG):
+            kcache.get_or_build(src, spec)
+        assert len(list(tmp_path.glob("*.kbin"))) == 3
+        assert kcache.stats().disk_evictions == 0
+
+    def test_evicted_entry_rebuilds_transparently(self, tmp_path):
+        size = self._entry_size(tmp_path)
+        kcache.configure(disk_max_bytes=size)  # cap: one entry at most
+        spec = gpu_spec()
+        kcache.get_or_build(SRC_SCALE, spec)  # evicts the SRC_ADD file
+        assert kcache.stats().disk_evictions >= 1
+        kcache.clear()
+        compiled = kcache.get_or_build(SRC_ADD, spec)
+        assert compiled.kernel_runner("add") is not None
+
+    def test_trace_counter(self, tmp_path):
+        size = self._entry_size(tmp_path)
+        with tracing() as tr:
+            kcache.configure(disk_max_bytes=size)
+            kcache.get_or_build(SRC_SCALE, gpu_spec())
+        assert tr.counter("kcache.disk_evict") >= 1
 
 
 class TestEquivalence:
