@@ -23,9 +23,11 @@ Usage::
 
 Results merge into ``BENCH_wallclock.json`` next to this script, keyed
 by mode, so the committed file can hold both the full trajectory and
-the smoke baseline the CI gate compares against (``--check`` fails when
-any app's optimized time regresses more than 2x against the committed
-baseline for the same mode).
+the smoke baseline the CI gate compares against.  ``--check`` fails
+when any app's optimized time regresses more than 2x against the
+committed baseline for the same mode, or when an app with a speedup
+floor (mandelbrot and reduction, whose gains come from the vectorised
+loop/barrier tiers) drops below it.
 """
 
 from __future__ import annotations
@@ -48,6 +50,11 @@ RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_wallclock.json"
 
 #: Maximum tolerated slowdown vs the committed baseline (--check).
 REGRESSION_FACTOR = 2.0
+
+#: Minimum legacy/optimized speedup per app (--check).  Mandelbrot and
+#: reduction ride the masked-loop and barrier-phase vectorised tiers;
+#: falling below 2x means those tiers stopped engaging.
+SPEEDUP_FLOORS = {"mandelbrot": 2.0, "reduction": 2.0}
 
 # Sizes are chosen so the full mode stresses the regimes the overhaul
 # targets: repeated identical-kernel launches (docrank, the LUD actor
@@ -156,6 +163,13 @@ def check_regressions(results: dict, baseline: dict, mode: str) -> list[str]:
             failures.append(
                 f"{name}: {entry['optimized_s']}s exceeds "
                 f"{REGRESSION_FACTOR}x baseline ({base['optimized_s']}s)"
+            )
+    for name, floor in SPEEDUP_FLOORS.items():
+        entry = results.get(name)
+        if entry is not None and entry["speedup"] < floor:
+            failures.append(
+                f"{name}: speedup {entry['speedup']}x below the "
+                f"{floor}x floor (vectorised tier not engaging?)"
             )
     return failures
 

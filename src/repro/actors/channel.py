@@ -68,6 +68,10 @@ class InPort:
         self._open_sources = 0
         self._ever_attached = False
         self._closed = False
+        # Receivers currently blocked with no timeout: each is
+        # committed to consuming the next message, which lets
+        # rendezvous sends skip their Event round trip (see _put).
+        self._recv_waiting = 0
 
     # -- wiring ------------------------------------------------------------
 
@@ -109,6 +113,14 @@ class InPort:
                 self._items.append((item, None))
                 self._nonempty.notify()
                 return
+            # Rendezvous fast path: a receiver already parked without a
+            # timeout is committed to consuming this message, so the
+            # handoff is as good as done — skip the Event round trip
+            # (one fewer sleep/wake per pipeline step).
+            if self._recv_waiting > len(self._items):
+                self._items.append((item, None))
+                self._nonempty.notify()
+                return
             # Rendezvous: block until a receiver consumes this message.
             consumed = threading.Event()
             self._items.append((item, consumed))
@@ -141,17 +153,26 @@ class InPort:
 
     def _receive(self, timeout: Optional[float]) -> Any:
         with self._lock:
-            while not self._items:
-                if self._closed or (
-                    self._ever_attached and self._open_sources == 0
-                ):
-                    raise ChannelClosed(
-                        f"{self.name}: all senders closed"
-                    )
-                # A port with no senders *yet* blocks: channels may be
-                # plumbed at runtime (paper Section 6.1.1).
-                if not self._nonempty.wait(timeout):
-                    raise ChannelError(f"{self.name}: receive timed out")
+            parked = timeout is None and not self._items
+            if parked:
+                self._recv_waiting += 1
+            try:
+                while not self._items:
+                    if self._closed or (
+                        self._ever_attached and self._open_sources == 0
+                    ):
+                        raise ChannelClosed(
+                            f"{self.name}: all senders closed"
+                        )
+                    # A port with no senders *yet* blocks: channels may
+                    # be plumbed at runtime (paper Section 6.1.1).
+                    if not self._nonempty.wait(timeout):
+                        raise ChannelError(
+                            f"{self.name}: receive timed out"
+                        )
+            finally:
+                if parked:
+                    self._recv_waiting -= 1
             item, consumed = self._items.popleft()
             if self.capacity:
                 self._nonfull.notify()

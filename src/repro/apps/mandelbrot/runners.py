@@ -44,7 +44,17 @@ DEFAULT_H = 48
 DEFAULT_ITER = 100
 
 
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is an optional dep
+    _np = None
+
+
 def _checksum_int(counts: list[int]) -> int:
+    if _np is not None and len(counts) >= 4096:
+        values = _np.asarray(counts, dtype=_np.int64)
+        weights = _np.arange(len(counts), dtype=_np.int64) % 97 + 1
+        return int(values.dot(weights))
     return sum((i % 97 + 1) * int(v) for i, v in enumerate(counts))
 
 

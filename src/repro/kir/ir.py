@@ -229,6 +229,8 @@ class Store(Stmt):
 
 @dataclass
 class If(Stmt):
+    """Two-armed conditional ``if (cond) then... else orelse...``."""
+
     cond: Expr
     then: list[Stmt]
     orelse: list[Stmt] = field(default_factory=list)
@@ -250,27 +252,33 @@ class For(Stmt):
 
 @dataclass
 class While(Stmt):
+    """Pre-tested loop ``while (cond) body...``."""
+
     cond: Expr
     body: list[Stmt] = field(default_factory=list)
 
 
 @dataclass
 class Break(Stmt):
-    pass
+    """Exit the innermost enclosing loop."""
 
 
 @dataclass
 class Continue(Stmt):
-    pass
+    """Skip to the next iteration of the innermost enclosing loop."""
 
 
 @dataclass
 class Return(Stmt):
+    """Return from the function (kernels return nothing)."""
+
     value: Optional[Expr] = None
 
 
 @dataclass
 class ExprStmt(Stmt):
+    """An expression evaluated for its side effects (e.g. a call)."""
+
     expr: Expr
 
 

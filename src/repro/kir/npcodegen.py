@@ -1,29 +1,55 @@
-"""Vectorised batch execution of range-mode kernels (numpy backend).
+"""Vectorised batch execution of kernels (numpy backend).
 
 The scalar engine (:mod:`repro.kir.pycodegen`) executes an NDRange one
-Python work-item at a time.  For kernels whose control flow is the same
-for every work-item — straight-line code, ``if``/``else`` (handled with
-boolean masks), counted ``for`` loops with item-invariant bounds — the
-whole NDRange can instead execute as a handful of numpy array
-operations, with one array lane per work-item.  This module compiles
-such kernels into a ``__vec_<name>(args, gsz, lsz)`` function returning
-the per-item dynamic op-count *vector*, which :func:`fold_group_warps`
-reduces to the per-group warp maxima the cost model consumes.
+Python work-item at a time.  This module instead compiles a kernel into
+a ``__vec_<name>(args, gsz, lsz)`` function that executes the whole
+NDRange as numpy array operations, one array lane per work-item, and
+returns the per-item dynamic op-count *vector*, which
+:func:`fold_group_warps` reduces to the per-group warp maxima the cost
+model consumes.
+
+Three escalating capabilities make almost every kernel eligible:
+
+* **Masked straight-line / structured code** — ``if``/``else`` becomes
+  boolean masks, counted ``for`` loops with item-invariant bounds stay
+  plain Python loops.
+* **Iterative masked evaluation** — ``while`` loops, ``for`` loops with
+  item-dependent bounds, ``break``, ``continue`` and early ``return``
+  keep a per-lane *active mask*; the loop body re-executes under the
+  mask until it empties.  ``break``/``continue``/``return`` subtract
+  lanes from the enclosing masks.  A runaway loop (more than
+  :data:`LOOP_ITER_CAP` iterations) raises :class:`VecIterationCap` and
+  the dispatcher falls back to the scalar warp-fold.
+* **Pure user-function inlining** — calls to side-effect-free
+  kernel-language helpers are inlined at codegen time (with per-site
+  renaming), charging exactly the ops the scalar engine charges.
+* **Cooperative barrier phases** — group-mode kernels (barriers /
+  ``__local`` arrays) execute with local memory materialised as
+  ``(num_groups, size)`` numpy buffers.  Every statement already runs
+  in lock-step across all lanes, so ``barrier()`` itself emits nothing;
+  eligibility restricts barriers to dispatch-uniform control flow so
+  the scalar engine would never diagnose divergence either.
 
 Op accounting mirrors ``_FnCompiler.block`` exactly (same per-block
 batching, the same ``+1`` / ``+2`` control-flow charges, masked where
 the scalar path is conditional), so the folded warp maxima — and hence
-every simulated nanosecond — are identical to the interpreter's
-per-item reduction; tests assert this.
+every simulated nanosecond — are identical to the scalar engines';
+tests assert this.
 
-Eligibility is conservative: kernels containing ``while`` / early
-``return`` / ``break`` / ``continue`` / barriers / local memory / user
-function calls, ``for`` loops with item-dependent bounds, or division
-inside short-circuit or select operands (numpy evaluates both sides)
-fall back to the scalar paths.  Known semantic deltas of the vector
-tier (documented, none observable in race-free kernels): int64
-wrap-around instead of Python big ints, and same-address stores from
-multiple work-items resolve by numpy fancy-assignment order.
+Kernels the tier still refuses (reason strings surface as
+``dispatch.fallback.<reason>`` trace counters): ``get_work_dim``
+(``work-dim``), non-variable array bases (``array-expr``), variant
+array sizes (``array-size``), local arrays declared below the kernel's
+top level (``local-array``), barriers under divergent control flow or
+early return in a barrier kernel (``barrier``), impure or recursive
+user calls (``user-call``), and division or loads inside speculatively
+evaluated select / short-circuit operands (``speculative``).
+
+Known semantic deltas of the vector tier (documented, none observable
+in race-free kernels): int64 wrap-around instead of Python big ints,
+same-address stores from multiple work-items resolve by numpy
+fancy-assignment order, and statements between barriers execute in
+lock-step across lanes rather than item-by-item.
 
 Everything here is a wall-clock optimisation only; when numpy is not
 installed the module degrades to ``AVAILABLE = False`` and the scalar
@@ -43,6 +69,7 @@ from .pycodegen import (
     _MAX_DIMS,
     _WI_VARS,
     _kind,
+    _local_decls,
     _pad3,
     _static_cost,
     _stmt_cost,
@@ -55,6 +82,17 @@ except ImportError:  # pragma: no cover - environment without numpy
     _np = None
 
 AVAILABLE = _np is not None
+
+#: Masked-loop iteration budget per loop entry.  A loop still live past
+#: this many iterations raises :class:`VecIterationCap`; the dispatcher
+#: restores written buffers and re-runs on the scalar warp-fold (which
+#: will hang or fault exactly as the kernel deserves).
+LOOP_ITER_CAP = 65536
+
+
+class VecIterationCap(Exception):
+    """A masked loop exceeded :data:`LOOP_ITER_CAP` iterations."""
+
 
 _NP_DTYPE_OF = {"int": "__np.int64", "float": "__np.float64", "bool": "bool"}
 
@@ -82,6 +120,8 @@ _NP_MATH = {
     "clamp": "__vclamp",
 }
 
+_VARIANT_ID_BUILTINS = ("get_global_id", "get_local_id", "get_group_id")
+
 
 # -- runtime helpers (the generated code's namespace) ----------------------
 
@@ -91,7 +131,7 @@ def _is_arr(x: Any) -> bool:
 
 
 def _vmask(val: Any, n: int):
-    """Normalise an if-condition to a full-width boolean mask."""
+    """Normalise an if/loop condition to a full-width boolean mask."""
     if _is_arr(val):
         return val
     if val:
@@ -122,6 +162,7 @@ def _vimod(a: Any, b: Any, m: Any):
 
 
 def _vfdiv(a: Any, b: Any, m: Any):
+    """Float division, mask-aware for inactive lanes."""
     if not _is_arr(a) and not _is_arr(b):
         if b == 0:
             raise ZeroDivisionError("float division by zero")
@@ -159,6 +200,7 @@ def _vmod(a: Any, b: Any, m: Any):
 
 
 def _vfmod(a: Any, b: Any, m: Any):
+    """Float remainder with C semantics, mask-aware."""
     if not _is_arr(a) and not _is_arr(b):
         return math.fmod(a, b)
     b = _np.asarray(b)
@@ -171,11 +213,12 @@ def _vfmod(a: Any, b: Any, m: Any):
 
 
 def _vpow(a: Any, b: Any):
-    # math.pow always returns a float; float_power matches that.
+    """Vector ``pow`` (always float, like ``math.pow``)."""
     return _np.float_power(a, b)
 
 
 def _vclamp(x: Any, lo: Any, hi: Any):
+    """Vector ``clamp``."""
     return _np.clip(x, lo, hi)
 
 
@@ -187,7 +230,7 @@ def _vload(arr: Any, idx: Any, m: Any):
 
 
 def _vload2(arr: Any, rows: Any, idx: Any, m: Any):
-    """Gather each work-item's slot from its private-array row."""
+    """Gather each work-item's slot from its private/local-array row."""
     if m is not None and _is_arr(idx):
         idx = _np.where(m, idx, 0)
     return arr[rows, idx]
@@ -216,11 +259,11 @@ def _vstore(arr: Any, idx: Any, val: Any, m: Any) -> None:
 
 
 def _vstore2(arr: Any, rows: Any, idx: Any, val: Any, m: Any) -> None:
-    """Scatter into per-item private-array rows."""
+    """Scatter into per-item private (or per-group local) array rows."""
     if m is None:
         arr[rows, idx] = val
         return
-    r = rows[m]
+    r = rows[m] if _is_arr(rows) else rows
     i = idx[m] if _is_arr(idx) else idx
     v = val[m] if _is_arr(val) else val
     arr[r, i] = v
@@ -247,6 +290,8 @@ def _namespace_base() -> dict[str, Any]:
         "__vor": None if _np is None else _np.logical_or,
         "__vsel": None if _np is None else _np.where,
         "__kre": KirRuntimeError,
+        "__CAP": LOOP_ITER_CAP,
+        "__vcaperr": VecIterationCap,
     }
 
 
@@ -266,14 +311,50 @@ def _unsafe_speculative(e: ir.Expr) -> bool:
     )
 
 
-def _variant_vars(fn: ir.Function) -> set[str]:
-    """Scalar variables whose value can differ between work-items.
+def _direct(stmts: Sequence[ir.Stmt], kinds) -> bool:
+    """True when a statement of *kinds* binds to this loop level (it is
+    not nested inside an inner loop)."""
+    for st in stmts:
+        if isinstance(st, kinds):
+            return True
+        if isinstance(st, ir.If):
+            if _direct(st.then, kinds) or _direct(st.orelse, kinds):
+                return True
+    return False
 
-    Seeds: work-item ids and array loads are variant; everything
-    derived from them (or assigned under a condition, which masking
-    turns into an array) becomes variant.  Fixpoint over the body.
-    """
-    variant: set[str] = set()
+
+def _loop_divergent(body: Sequence[ir.Stmt]) -> bool:
+    """True when lanes can leave this loop at different trip counts:
+    a ``break``/``continue`` bound to it, or a ``return`` anywhere."""
+    if _direct(body, (ir.Break, ir.Continue)):
+        return True
+    return any(isinstance(s, ir.Return) for s in ir.walk_stmts(body))
+
+
+def _callee_taints(module: ir.Module, name: str, seen: tuple = ()) -> bool:
+    """True when calling *name* can produce per-lane-different values
+    even on item-invariant arguments (it reads arrays, uses work-item
+    state, or cannot be resolved)."""
+    fn = module.functions.get(name)
+    if fn is None or name in seen:
+        return True
+    for st in ir.walk_stmts(fn.body):
+        for e in ir.walk_exprs(st):
+            if isinstance(e, ir.Index):
+                return True
+            if isinstance(e, ir.Call):
+                if e.name in ir.WORKITEM_BUILTINS:
+                    return True
+                if e.name not in _NP_MATH and _callee_taints(
+                    module, e.name, seen + (name,)
+                ):
+                    return True
+    return False
+
+
+def _make_expr_variant(module: ir.Module, variant: set[str]):
+    """Build the "can this expression differ between lanes" predicate
+    over the evolving *variant* set."""
 
     def expr_variant(e: Optional[ir.Expr]) -> bool:
         if e is None:
@@ -283,13 +364,55 @@ def _variant_vars(fn: ir.Function) -> set[str]:
                 return True
             if isinstance(node, ir.Index):
                 return True
-            if isinstance(node, ir.Call) and node.name in (
-                "get_global_id",
-                "get_local_id",
-                "get_group_id",
-            ):
-                return True
+            if isinstance(node, ir.Call):
+                if node.name in _VARIANT_ID_BUILTINS:
+                    return True
+                if (
+                    node.name not in ir.WORKITEM_BUILTINS
+                    and node.name not in _NP_MATH
+                    and _callee_taints(module, node.name)
+                ):
+                    return True
         return False
+
+    return expr_variant
+
+
+def _masked_for(st: ir.For, expr_variant) -> bool:
+    """Whether a ``for`` loop needs iterative masked evaluation (as
+    opposed to a plain uniform Python loop)."""
+    return (
+        not isinstance(st.step, ir.Const)
+        or _loop_divergent(st.body)
+        or any(
+            isinstance(s, ir.Assign) and s.name == st.var
+            for s in ir.walk_stmts(st.body)
+        )
+        or expr_variant(st.start)
+        or expr_variant(st.stop)
+        or expr_variant(st.step)
+    )
+
+
+def _masked_while(st: ir.While, expr_variant) -> bool:
+    """Whether a ``while`` loop needs iterative masked evaluation."""
+    return _loop_divergent(st.body) or expr_variant(st.cond)
+
+
+def _variant_vars(
+    module: ir.Module, fn: ir.Function, seeds: Sequence[str] = ()
+) -> set[str]:
+    """Scalar variables whose value can differ between work-items.
+
+    Seeds: work-item ids and array loads are variant; everything
+    derived from them (or assigned under a condition or inside a
+    masked loop, which masking turns into an array) becomes variant.
+    *seeds* pre-marks names (used for inline sites, where a callee
+    parameter bound to a variant argument is variant).  Fixpoint over
+    the body.
+    """
+    variant: set[str] = set(seeds)
+    expr_variant = _make_expr_variant(module, variant)
 
     changed = True
     while changed:
@@ -315,80 +438,142 @@ def _variant_vars(fn: ir.Function) -> set[str]:
                 elif isinstance(st, ir.If):
                     visit(st.then, True)
                     visit(st.orelse, True)
-                elif isinstance(st, (ir.For, ir.While)):
-                    visit(st.body, conditional)
+                elif isinstance(st, ir.For):
+                    masked = _masked_for(st, expr_variant)
+                    if masked and st.var not in variant:
+                        variant.add(st.var)
+                        changed = True
+                    visit(st.body, conditional or masked)
+                elif isinstance(st, ir.While):
+                    visit(
+                        st.body,
+                        conditional or _masked_while(st, expr_variant),
+                    )
 
         visit(fn.body, False)
     return variant
 
 
-def _eligible(module: ir.Module, fn: ir.Function) -> bool:
-    variant = _variant_vars(fn)
+def _barriers_phase_safe(
+    stmts: Sequence[ir.Stmt], uniform: bool, expr_variant
+) -> bool:
+    """Every barrier sits in dispatch-uniform control flow: at the top
+    level, or inside loops whose trip count is identical for all lanes.
+    Barriers under ``if`` are rejected outright (the scalar engine
+    diagnoses real divergence at runtime; demoting keeps that
+    behaviour)."""
+    for st in stmts:
+        if isinstance(st, ir.Barrier):
+            if not uniform:
+                return False
+        elif isinstance(st, ir.If):
+            if not _barriers_phase_safe(st.then, False, expr_variant):
+                return False
+            if not _barriers_phase_safe(st.orelse, False, expr_variant):
+                return False
+        elif isinstance(st, ir.For):
+            inner = uniform and not _masked_for(st, expr_variant)
+            if not _barriers_phase_safe(st.body, inner, expr_variant):
+                return False
+        elif isinstance(st, ir.While):
+            inner = uniform and not _masked_while(st, expr_variant)
+            if not _barriers_phase_safe(st.body, inner, expr_variant):
+                return False
+    return True
 
-    def invariant(e: Optional[ir.Expr]) -> bool:
-        if e is None:
-            return True
-        for node in ir.walk_exprs(e):
-            if isinstance(node, ir.Var) and node.name in variant:
-                return False
-            if isinstance(node, ir.Index):
-                return False
-            if isinstance(node, ir.Call) and node.name in (
-                "get_global_id",
-                "get_local_id",
-                "get_group_id",
-                "get_work_dim",
-            ):
-                return False
-        return True
 
-    for st in ir.walk_stmts(fn.body):
-        if isinstance(
-            st, (ir.While, ir.Return, ir.Break, ir.Continue, ir.Barrier)
-        ):
-            return False
+def _call_reason(
+    module: ir.Module, call: ir.Call, stack: tuple
+) -> Optional[str]:
+    """Inlinability of one user-function call site (None when OK)."""
+    target = module.functions.get(call.name)
+    if target is None or target.is_kernel or call.name in stack:
+        return "user-call"
+    if len(target.params) != len(call.args):
+        return "user-call"
+    for p, a in zip(target.params, call.args):
+        if isinstance(p.type, ir.ArrayType) and not isinstance(a, ir.Var):
+            return "user-call"
+    for st in ir.walk_stmts(target.body):
+        if isinstance(st, (ir.Store, ir.Barrier)):
+            return "user-call"
         if isinstance(st, ir.Decl) and isinstance(st.type, ir.ArrayType):
-            if st.type.space == ir.LOCAL:
-                return False
-            if st.size is None or not invariant(st.size):
-                return False
-        if isinstance(st, ir.For):
-            if not isinstance(st.step, ir.Const):
-                return False
-            if any(
-                isinstance(s, ir.Assign) and s.name == st.var
-                for s in ir.walk_stmts(st.body)
-            ):
-                return False
-            if not (
-                invariant(st.start)
-                and invariant(st.stop)
-                and invariant(st.step)
-            ):
-                return False
+            return "user-call"
+    return _body_reason(module, target.body, stack + (call.name,))
+
+
+def _body_reason(
+    module: ir.Module, body: Sequence[ir.Stmt], stack: tuple
+) -> Optional[str]:
+    """Statement/expression-level vectorisation blockers in *body*
+    (including transitively inlined callees).  None when clean."""
+    for st in ir.walk_stmts(body):
         if isinstance(st, ir.Store) and not isinstance(st.base, ir.Var):
-            return False
+            return "array-expr"
         for e in ir.walk_exprs(st):
             if isinstance(e, ir.Index) and not isinstance(e.base, ir.Var):
-                return False
+                return "array-expr"
             if isinstance(e, ir.Call):
                 if e.name == "get_work_dim":
-                    return False
+                    return "work-dim"
                 if e.name in ir.WORKITEM_BUILTINS:
                     if not e.args or not isinstance(e.args[0], ir.Const):
-                        return False
+                        return "work-dim"
                     continue
-                if e.name not in _NP_MATH:
-                    return False  # user function call
+                if e.name in _NP_MATH:
+                    continue
+                reason = _call_reason(module, e, stack)
+                if reason:
+                    return reason
             if isinstance(e, ir.Select) and (
                 _unsafe_speculative(e.if_true)
                 or _unsafe_speculative(e.if_false)
             ):
-                return False
+                return "speculative"
             if isinstance(e, ir.BinOp):
                 if e.op in ("&&", "||") and _unsafe_speculative(e.right):
-                    return False
-    return True
+                    return "speculative"
+    return None
+
+
+def eligibility(module: ir.Module, fn: ir.Function) -> Optional[str]:
+    """Why *fn* cannot run on the vectorised tier, or None if it can.
+
+    The reason string becomes the ``dispatch.fallback.<reason>`` trace
+    counter suffix when a dispatch is demoted to a scalar tier.
+    """
+    if not AVAILABLE:
+        return "no-numpy"
+    variant = _variant_vars(module, fn)
+    expr_variant = _make_expr_variant(module, variant)
+
+    def invariant(e: Optional[ir.Expr]) -> bool:
+        if e is None:
+            return False
+        return not expr_variant(e) and not any(
+            isinstance(n, ir.Call) and n.name == "get_work_dim"
+            for n in ir.walk_exprs(e)
+        )
+
+    top_locals = {
+        st.name
+        for st in fn.body
+        if isinstance(st, ir.Decl)
+        and isinstance(st.type, ir.ArrayType)
+        and st.type.space == ir.LOCAL
+    }
+    for st in ir.walk_stmts(fn.body):
+        if isinstance(st, ir.Decl) and isinstance(st.type, ir.ArrayType):
+            if st.size is None or not invariant(st.size):
+                return "array-size"
+            if st.type.space == ir.LOCAL and st.name not in top_locals:
+                return "local-array"
+    if ir.has_barrier(fn):
+        if any(isinstance(s, ir.Return) for s in ir.walk_stmts(fn.body)):
+            return "barrier"
+        if not _barriers_phase_safe(fn.body, True, expr_variant):
+            return "barrier"
+    return _body_reason(module, fn.body, (fn.name,))
 
 
 # -- codegen ---------------------------------------------------------------
@@ -398,22 +583,48 @@ class _VecCompiler:
     """Compiles one eligible kernel body to masked numpy statements."""
 
     def __init__(
-        self, module: ir.Module, fn: ir.Function, em: _Emitter
+        self,
+        module: ir.Module,
+        fn: ir.Function,
+        em: _Emitter,
+        variant: set[str],
     ) -> None:
         self.module = module
         self.fn = fn
         self.em = em
+        #: stack of boolean-mask variable names; empty = all lanes
         self.masks: list[str] = []
-        self.private: set[str] = set()
+        #: enclosing masked loops: {'depth', 'act'}
+        self.loops: list[dict] = []
+        #: rename scopes for inlined callees (innermost last)
+        self.scopes: list[dict[str, str]] = []
+        #: per-scope variant-variable sets (kernel's own at index 0)
+        self.variants: list[set[str]] = [variant]
+        #: resolved 2-D array name -> row-index variable
+        self.rowed: dict[str, str] = {}
+        #: return contexts: {'depth', 'ret'} (kernel level at index 0
+        #: when the kernel body contains Return)
+        self.inline_ctx: list[dict] = []
+        self.inline_stack: list[str] = []
+        #: True once any masked loop was emitted (the iteration cap can
+        #: fire at runtime, so dispatch snapshots written buffers)
+        self.has_masked_loops = False
         self.tmp = 0
 
-    @staticmethod
-    def var(name: str) -> str:
+    def var(self, name: str) -> str:
+        """Resolve *name* through the inline rename scopes."""
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
         return f"v_{name}"
 
     def fresh_mask(self) -> str:
         self.tmp += 1
         return f"__m{self.tmp}"
+
+    def fresh(self, prefix: str) -> str:
+        self.tmp += 1
+        return f"__{prefix}{self.tmp}"
 
     @property
     def mask(self) -> Optional[str]:
@@ -422,11 +633,16 @@ class _VecCompiler:
     def _m(self) -> str:
         return self.mask or "None"
 
+    def _expr_variant(self, e: Optional[ir.Expr]) -> bool:
+        return _make_expr_variant(self.module, self.variants[-1])(e)
+
     def add_ops(self, n: int) -> None:
         if self.mask is None:
             self.em.emit(f"__ops += {n}")
         else:
-            self.em.emit(f"__ops[{self.mask}] += {n}")
+            # bool * int broadcast beats boolean fancy indexing by an
+            # order of magnitude and is density-independent.
+            self.em.emit(f"__ops += {self.mask} * {n}")
 
     # -- expressions ----------------------------------------------------
 
@@ -448,13 +664,12 @@ class _VecCompiler:
             return f"(~{inner})"
         if isinstance(e, ir.Index):
             assert isinstance(e.base, ir.Var)
+            base = self.var(e.base.name)
             idx = self.expr(e.index)
-            if e.base.name in self.private:
-                return (
-                    f"__vload2({self.var(e.base.name)}, __lin, {idx}, "
-                    f"{self._m()})"
-                )
-            return f"__vload({self.var(e.base.name)}, {idx}, {self._m()})"
+            row = self.rowed.get(base)
+            if row is not None:
+                return f"__vload2({base}, {row}, {idx}, {self._m()})"
+            return f"__vload({base}, {idx}, {self._m()})"
         if isinstance(e, ir.Cast):
             inner = self.expr(e.operand)
             fn = {"int": "__vint", "float": "__vfloat", "bool": "__vbool"}[
@@ -500,8 +715,66 @@ class _VecCompiler:
             if not 0 <= d < _MAX_DIMS:
                 return "0" if e.name.endswith("_id") else "1"
             return f"{_WI_VARS[e.name]}{d}"
-        args = ", ".join(self.expr(a) for a in e.args)
-        return f"{_NP_MATH[e.name]}({args})"
+        if e.name in _NP_MATH:
+            args = ", ".join(self.expr(a) for a in e.args)
+            return f"{_NP_MATH[e.name]}({args})"
+        return self._inline_call(e)
+
+    def _inline_call(self, e: ir.Call) -> str:
+        """Inline a pure user-function call under the current mask.
+
+        Ops match the scalar engine exactly: argument expressions are
+        charged by the caller's statement cost (``_stmt_cost`` walks
+        into call arguments), parameter binding is free, the callee
+        body is charged by the shared :meth:`block`, and each
+        ``return`` is charged like any other statement."""
+        callee = self.module.functions[e.name]
+        k = self.fresh("i")
+        scope: dict[str, str] = {}
+        seeds: list[str] = []
+        for p, a in zip(callee.params, e.args):
+            if isinstance(p.type, ir.ArrayType):
+                assert isinstance(a, ir.Var)
+                scope[p.name] = self.var(a.name)
+            else:
+                tmp = f"{k}a_{p.name}"
+                self.em.emit(f"{tmp} = {self.expr(a)}")
+                scope[p.name] = tmp
+                if self._expr_variant(a):
+                    seeds.append(p.name)
+        for st in ir.walk_stmts(callee.body):
+            if isinstance(st, ir.Decl) and st.name not in scope:
+                scope[st.name] = f"{k}v_{st.name}"
+            elif isinstance(st, ir.For) and st.var not in scope:
+                scope[st.var] = f"{k}v_{st.var}"
+        ret: Optional[str] = None
+        if isinstance(callee.ret_type, ir.ScalarType):
+            ret = f"{k}r"
+            self.em.emit(f"{ret} = {_ZERO[callee.ret_type.kind]}")
+        has_ret = any(
+            isinstance(s, ir.Return) for s in ir.walk_stmts(callee.body)
+        )
+        self.inline_stack.append(e.name)
+        self.scopes.append(scope)
+        self.variants.append(_variant_vars(self.module, callee, seeds))
+        if has_ret:
+            live = self.fresh_mask()
+            cur = self.mask
+            if cur is None:
+                self.em.emit(f"{live} = __np.ones(__n, dtype=bool)")
+            else:
+                self.em.emit(f"{live} = {cur}")
+            self.masks.append(live)
+            self.inline_ctx.append({"depth": len(self.masks) - 1, "ret": ret})
+            self.block(callee.body)
+            self.inline_ctx.pop()
+            self.masks.pop()
+        else:
+            self.block(callee.body)
+        self.variants.pop()
+        self.scopes.pop()
+        self.inline_stack.pop()
+        return ret if ret is not None else "0"
 
     # -- statements -----------------------------------------------------
 
@@ -519,6 +792,10 @@ class _VecCompiler:
             if isinstance(st, (ir.Decl, ir.Assign, ir.Store, ir.ExprStmt)):
                 pending += _stmt_cost(st)
                 self.simple_stmt(st)
+            elif isinstance(st, ir.Return):
+                pending += _stmt_cost(st)
+                flush()
+                self.return_stmt(st)
             else:
                 flush()
                 self.control_stmt(st)
@@ -531,11 +808,19 @@ class _VecCompiler:
                 assert st.size is not None
                 size = self.expr(st.size)
                 dtype = _NP_DTYPE_OF[st.type.element.kind]
-                em.emit(
-                    f"{self.var(st.name)} = "
-                    f"__np.zeros((__n, {size}), dtype={dtype})"
-                )
-                self.private.add(st.name)
+                name = self.var(st.name)
+                if st.type.space == ir.LOCAL:
+                    em.emit(
+                        f"{name} = "
+                        f"__np.zeros((__ngroups, {size}), dtype={dtype})"
+                    )
+                    self.rowed[name] = "__grow"
+                else:
+                    em.emit(
+                        f"{name} = "
+                        f"__np.zeros((__n, {size}), dtype={dtype})"
+                    )
+                    self.rowed[name] = "__lin"
             elif st.init is not None:
                 self._assign(st.name, self.expr(st.init), declares=True)
             else:
@@ -544,18 +829,16 @@ class _VecCompiler:
             self._assign(st.name, self.expr(st.value))
         elif isinstance(st, ir.Store):
             assert isinstance(st.base, ir.Var)
+            base = self.var(st.base.name)
             idx = self.expr(st.index)
             val = self.expr(st.value)
-            if st.base.name in self.private:
+            row = self.rowed.get(base)
+            if row is not None:
                 em.emit(
-                    f"__vstore2({self.var(st.base.name)}, __lin, {idx}, "
-                    f"{val}, {self._m()})"
+                    f"__vstore2({base}, {row}, {idx}, {val}, {self._m()})"
                 )
             else:
-                em.emit(
-                    f"__vstore({self.var(st.base.name)}, {idx}, {val}, "
-                    f"{self._m()})"
-                )
+                em.emit(f"__vstore({base}, {idx}, {val}, {self._m()})")
         elif isinstance(st, ir.ExprStmt):
             em.emit(f"_ = {self.expr(st.expr)}")
         else:  # pragma: no cover - guarded by block()
@@ -571,6 +854,46 @@ class _VecCompiler:
             self.em.emit(
                 f"{target} = __np.where({self.mask}, {value}, {target})"
             )
+
+    def _kill_masks(self, names: Sequence[str], cap: str) -> None:
+        seen: set[str] = set()
+        for v in names:
+            if v not in seen:
+                self.em.emit(f"{v} = {v} & ~{cap}")
+                seen.add(v)
+
+    def return_stmt(self, st: ir.Return) -> None:
+        ctx = self.inline_ctx[-1]
+        cur = self.mask
+        assert cur is not None  # a live mask is pushed whenever Return occurs
+        if ctx["ret"] is not None and st.value is not None:
+            val = self.expr(st.value)
+            self.em.emit(
+                f"{ctx['ret']} = __np.where({cur}, {val}, {ctx['ret']})"
+            )
+        cap = self.fresh("t")
+        self.em.emit(f"{cap} = {cur}")
+        names = list(self.masks[ctx["depth"]:])
+        names += [
+            lp["act"] for lp in self.loops if lp["depth"] >= ctx["depth"]
+        ]
+        self._kill_masks(names, cap)
+
+    def break_stmt(self) -> None:
+        lp = self.loops[-1]
+        cur = self.mask
+        assert cur is not None
+        cap = self.fresh("t")
+        self.em.emit(f"{cap} = {cur}")
+        self._kill_masks(list(self.masks[lp["depth"]:]) + [lp["act"]], cap)
+
+    def continue_stmt(self) -> None:
+        lp = self.loops[-1]
+        cur = self.mask
+        assert cur is not None
+        cap = self.fresh("t")
+        self.em.emit(f"{cap} = {cur}")
+        self._kill_masks(list(self.masks[lp["depth"]:]), cap)
 
     def control_stmt(self, st: ir.Stmt) -> None:
         em = self.em
@@ -601,27 +924,144 @@ class _VecCompiler:
                 self.masks.pop()
                 em.indent -= 1
         elif isinstance(st, ir.For):
-            setup = (
-                _static_cost(st.start)
-                + _static_cost(st.stop)
-                + _static_cost(st.step)
-            )
-            if setup:
-                self.add_ops(setup)
-            start = self.expr(st.start)
-            stop = self.expr(st.stop)
-            step = self.expr(st.step)
-            em.emit(
-                f"for {self.var(st.var)} in range({start}, {stop}, {step}):"
-            )
-            em.indent += 1
-            self.add_ops(2)
-            self.block(st.body)
-            em.indent -= 1
-        else:  # pragma: no cover - guarded by _eligible
+            if _masked_for(st, self._expr_variant):
+                self._masked_for_stmt(st)
+            else:
+                self._uniform_for_stmt(st)
+        elif isinstance(st, ir.While):
+            if _masked_while(st, self._expr_variant):
+                self._masked_while_stmt(st)
+            else:
+                self._uniform_while_stmt(st)
+        elif isinstance(st, ir.Break):
+            self.break_stmt()
+        elif isinstance(st, ir.Continue):
+            self.continue_stmt()
+        elif isinstance(st, ir.Barrier):
+            # Full-width execution is already statement-synchronous:
+            # every lane completes the previous phase before the next
+            # statement runs, so the barrier needs no code (it also
+            # charges no ops in the scalar engines).
+            pass
+        else:  # pragma: no cover - guarded by eligibility()
             raise KirRuntimeError(
                 f"vec codegen: unsupported {type(st).__name__}"
             )
+
+    def _loop_setup_ops(self, st: ir.For) -> None:
+        setup = (
+            _static_cost(st.start)
+            + _static_cost(st.stop)
+            + _static_cost(st.step)
+        )
+        if setup:
+            self.add_ops(setup)
+
+    def _uniform_for_stmt(self, st: ir.For) -> None:
+        em = self.em
+        self._loop_setup_ops(st)
+        start = self.expr(st.start)
+        stop = self.expr(st.stop)
+        step = self.expr(st.step)
+        em.emit(
+            f"for {self.var(st.var)} in range({start}, {stop}, {step}):"
+        )
+        em.indent += 1
+        self.add_ops(2)
+        self.block(st.body)
+        em.indent -= 1
+
+    def _enter_loop_body(self, body: Sequence[ir.Stmt], act: str) -> None:
+        """Push the loop body mask (a per-iteration copy when the body
+        contains ``continue``, so continue can subtract lanes from the
+        rest of the iteration without ending their loop)."""
+        if _direct(body, ir.Continue):
+            body_mask = self.fresh_mask()
+            self.em.emit(f"{body_mask} = {act}")
+        else:
+            body_mask = act
+        self.loops.append({"depth": len(self.masks), "act": act})
+        self.masks.append(body_mask)
+        self.block(body)
+        self.masks.pop()
+        self.loops.pop()
+
+    def _masked_while_stmt(self, st: ir.While) -> None:
+        em = self.em
+        self.has_masked_loops = True
+        act = self.fresh_mask()
+        outer = self.mask
+        if outer is None:
+            em.emit(f"{act} = __np.ones(__n, dtype=bool)")
+        else:
+            em.emit(f"{act} = {outer}")
+        it = self.fresh("t")
+        em.emit(f"{it} = 0")
+        cost = _static_cost(st.cond) + 1
+        em.emit("while True:")
+        em.indent += 1
+        # Every still-active lane performs the check (and pays for it,
+        # including the final failing one — exactly the scalar charge).
+        em.emit(f"__ops += {act} * {cost}")
+        self.masks.append(act)
+        cond = self.expr(st.cond)
+        self.masks.pop()
+        em.emit(f"{act} = {act} & __vmask({cond}, __n)")
+        em.emit(f"if not {act}.any(): break")
+        em.emit(f"{it} += 1")
+        em.emit(f"if {it} > __CAP: raise __vcaperr()")
+        self._enter_loop_body(st.body, act)
+        em.indent -= 1
+
+    def _masked_for_stmt(self, st: ir.For) -> None:
+        em = self.em
+        self.has_masked_loops = True
+        self._loop_setup_ops(st)
+        var = self.var(st.var)
+        stop_v = self.fresh("t")
+        step_v = self.fresh("t")
+        em.emit(f"{var} = {self.expr(st.start)}")
+        em.emit(f"{stop_v} = {self.expr(st.stop)}")
+        em.emit(f"{step_v} = {self.expr(st.step)}")
+        if isinstance(st.step, ir.Const):
+            cmp_op = "<" if st.step.value > 0 else ">"
+            in_range = f"({var} {cmp_op} {stop_v})"
+        else:
+            in_range = (
+                f"__vsel({step_v} > 0, {var} < {stop_v}, {var} > {stop_v})"
+            )
+        act = self.fresh_mask()
+        outer = self.mask
+        if outer is None:
+            em.emit(f"{act} = __vmask({in_range}, __n)")
+        else:
+            em.emit(f"{act} = {outer} & __vmask({in_range}, __n)")
+        it = self.fresh("t")
+        em.emit(f"{it} = 0")
+        em.emit(f"while {act}.any():")
+        em.indent += 1
+        # The scalar range loop charges +2 per entered iteration; the
+        # failing range check is free.
+        em.emit(f"__ops += {act} * 2")
+        self._enter_loop_body(st.body, act)
+        em.emit(f"{var} = {var} + {step_v}")
+        em.emit(f"{act} = {act} & __vmask({in_range}, __n)")
+        em.emit(f"{it} += 1")
+        em.emit(f"if {it} > __CAP: raise __vcaperr()")
+        em.indent -= 1
+
+    def _uniform_while_stmt(self, st: ir.While) -> None:
+        """A ``while`` whose condition is item-invariant and whose body
+        cannot diverge runs as a plain Python loop: the condition is a
+        host scalar and every lane shares the trip count."""
+        em = self.em
+        cost = _static_cost(st.cond) + 1
+        em.emit("while True:")
+        em.indent += 1
+        self.add_ops(cost)
+        em.emit(f"if not ({self.expr(st.cond)}): break")
+        self.block(st.body)
+        em.indent -= 1
 
 
 def _vint(x: Any):
@@ -636,9 +1076,12 @@ def _vbool(x: Any):
     return x.astype(bool) if _is_arr(x) else bool(x)
 
 
-def _gen_vec_kernel(module: ir.Module, fn: ir.Function, em: _Emitter) -> None:
+def _gen_vec_kernel(
+    module: ir.Module, fn: ir.Function, em: _Emitter
+) -> _VecCompiler:
     used = _used_workitem_vars(fn)
     params = [f"v_{p.name}" for p in fn.params]
+    has_locals = bool(_local_decls(fn))
     em.emit(f"def __vec_{fn.name}(__args, __gsz, __lsz):")
     em.indent += 1
     if params:
@@ -649,9 +1092,10 @@ def _gen_vec_kernel(module: ir.Module, fn: ir.Function, em: _Emitter) -> None:
         em.emit(f"__N{d} = __G{d} // __L{d}")
     em.emit("__n = __G0 * __G1 * __G2")
     em.emit("__lin = __np.arange(__n)")
-    id_used = {d for (name, d) in used if name == "get_global_id"}
-    id_used |= {d for (name, d) in used if name in (
-        "get_local_id", "get_group_id")}
+    id_used = {d for (name, d) in used if name in (
+        "get_global_id", "get_local_id", "get_group_id")}
+    if has_locals:
+        id_used |= {0, 1, 2}
     for d in sorted(id_used):
         if d == 0:
             em.emit("__g0 = __lin % __G0")
@@ -664,12 +1108,27 @@ def _gen_vec_kernel(module: ir.Module, fn: ir.Function, em: _Emitter) -> None:
             em.emit(f"__l{d} = __g{d} % __L{d}")
         elif name == "get_group_id":
             em.emit(f"__grp{d} = __g{d} // __L{d}")
+    if has_locals:
+        # Per-item row into the (num_groups, size) local-memory
+        # buffers: the group's flat index in the scalar engine's
+        # group-major visit order.
+        em.emit("__ngroups = __N0 * __N1 * __N2")
+        em.emit(
+            "__grow = (__g2 // __L2 * __N1 + __g1 // __L1) * __N0 "
+            "+ __g0 // __L0"
+        )
     em.emit("__ops = __np.zeros(__n, dtype=__np.int64)")
-    comp = _VecCompiler(module, fn, em)
+    comp = _VecCompiler(module, fn, em, _variant_vars(module, fn))
+    if any(isinstance(s, ir.Return) for s in ir.walk_stmts(fn.body)):
+        # Early return subtracts lanes from this kernel-wide live mask.
+        em.emit("__live = __np.ones(__n, dtype=bool)")
+        comp.masks.append("__live")
+        comp.inline_ctx.append({"depth": 0, "ret": None})
     comp.block(fn.body)
     em.emit("return __ops")
     em.indent -= 1
     em.emit("")
+    return comp
 
 
 #: (gsz, lsz) -> linear-to-group-major scatter index for
@@ -682,6 +1141,7 @@ _fold_perm_cache: dict = {}
 
 
 def _fold_perm(g: tuple, l: tuple, nitems: int) -> Any:
+    """Scatter index mapping linear item order to group-major order."""
     key = (g, l)
     perm = _fold_perm_cache.get(key)
     if perm is None:
@@ -734,12 +1194,25 @@ def fold_group_warps(
 
 
 class VecKernel:
-    """Callable vectorised form of one range-mode kernel."""
+    """Callable vectorised form of one kernel."""
 
-    def __init__(self, fn: ir.Function, run_fn: Any) -> None:
+    def __init__(
+        self,
+        fn: ir.Function,
+        run_fn: Any,
+        group_major: bool = False,
+        has_masked_loops: bool = False,
+    ) -> None:
         self.fn = fn
         self.name = fn.name
         self._run = run_fn
+        #: group-mode kernels are priced from item ops listed in the
+        #: scalar engine's group-major visit order; reproduce that
+        #: ordering quirk bit-for-bit (see :meth:`run_group_warps`)
+        self.group_major = group_major
+        #: True when the kernel contains loops whose runtime iteration
+        #: count is lane-dependent (the :data:`LOOP_ITER_CAP` can fire)
+        self.has_masked_loops = has_masked_loops
 
     def run_group_warps(
         self,
@@ -757,28 +1230,53 @@ class VecKernel:
         # the mask-aware helpers turn *active* faults into errors.
         with _np.errstate(all="ignore"):
             ops = self._run(tuple(args), g, l)
+        if self.group_major and (l[1] != 1 or l[2] != 1):
+            # The scalar group engine emits item ops in group-major
+            # order and prices them as if linear; mimic by scattering
+            # to group-major before the (identical) fold.
+            arranged = _np.empty_like(ops)
+            arranged[_fold_perm(g, l, ops.shape[0])] = ops
+            ops = arranged
         return fold_group_warps(ops, g, l, simd)
 
 
-def vectorize_kernel(
+def vectorize_kernel_info(
     module: ir.Module, fn: ir.Function
-) -> Optional[VecKernel]:
-    """Compile *fn* to a :class:`VecKernel`, or None if ineligible."""
+) -> tuple[Optional["VecKernel"], Optional[str]]:
+    """Compile *fn* to a :class:`VecKernel`.
+
+    Returns ``(kernel, None)`` on success or ``(None, reason)`` where
+    *reason* is the :func:`eligibility` string (or ``codegen-error``
+    for an unexpected compilation failure — vectorisation is purely an
+    optimisation, so the scalar engine silently carries execution).
+    """
     if not AVAILABLE:
-        return None
+        return None, "no-numpy"
     try:
-        if not _eligible(module, fn):
-            return None
+        reason = eligibility(module, fn)
+        if reason is not None:
+            return None, reason
         em = _Emitter()
-        _gen_vec_kernel(module, fn, em)
+        comp = _gen_vec_kernel(module, fn, em)
         namespace = _namespace_base()
         namespace["__vint"] = _vint
         namespace["__vfloat"] = _vfloat
         namespace["__vbool"] = _vbool
         code = compile(em.source(), f"<kirvec:{fn.name}>", "exec")
         exec(code, namespace)  # noqa: S102 - our own generated code
-        return VecKernel(fn, namespace[f"__vec_{fn.name}"])
+        vk = VecKernel(
+            fn,
+            namespace[f"__vec_{fn.name}"],
+            group_major=ir.has_barrier(fn) or bool(_local_decls(fn)),
+            has_masked_loops=comp.has_masked_loops,
+        )
+        return vk, None
     except Exception:
-        # Vectorisation is purely an optimisation: any unexpected shape
-        # falls back to the scalar engine rather than failing the build.
-        return None
+        return None, "codegen-error"
+
+
+def vectorize_kernel(
+    module: ir.Module, fn: ir.Function
+) -> Optional[VecKernel]:
+    """Compile *fn* to a :class:`VecKernel`, or None if ineligible."""
+    return vectorize_kernel_info(module, fn)[0]

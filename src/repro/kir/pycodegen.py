@@ -461,6 +461,9 @@ class KernelRunner:
         #: vectorised batch executor (:mod:`repro.kir.npcodegen`), or
         #: None when numpy is missing or the kernel is not vectorisable
         self.vec = None
+        #: why ``vec`` is None (an ``npcodegen.eligibility`` reason
+        #: string surfaced as a ``dispatch.fallback.<reason>`` counter)
+        self.vec_reason: Optional[str] = None
         #: indices of array params the kernel stores into
         self.written_param_indices: tuple[int, ...] = tuple(
             i
@@ -594,12 +597,15 @@ def _pad3(dims: Sequence[int]) -> tuple[int, int, int]:
 
 
 def _vectorize(module: ir.Module, fn: ir.Function):
-    """Build the numpy batch executor for *fn*, if possible."""
+    """Build the numpy batch executor for *fn*, if possible.
+
+    Returns ``(vec_kernel_or_None, fallback_reason_or_None)``.
+    """
     from . import npcodegen
 
     if not npcodegen.AVAILABLE:
-        return None
-    return npcodegen.vectorize_kernel(module, fn)
+        return None, "no-numpy"
+    return npcodegen.vectorize_kernel_info(module, fn)
 
 
 class CompiledModule:
@@ -614,7 +620,7 @@ class CompiledModule:
         self._runners: dict[str, KernelRunner] = {}
         for fn in module.kernels():
             if ir.has_barrier(fn) or _local_decls(fn):
-                self._runners[fn.name] = KernelRunner(
+                runner = KernelRunner(
                     fn,
                     wi_factory=self.namespace[f"__wi_{fn.name}"],
                     locals_factory=self.namespace[f"__locals_{fn.name}"],
@@ -625,8 +631,8 @@ class CompiledModule:
                     run_range=self.namespace[f"__run_{fn.name}"],
                     run_warps=self.namespace[f"__warps_{fn.name}"],
                 )
-                runner.vec = _vectorize(module, fn)
-                self._runners[fn.name] = runner
+            runner.vec, runner.vec_reason = _vectorize(module, fn)
+            self._runners[fn.name] = runner
 
     def call(self, name: str, args: Sequence[Any]) -> tuple[Any, int]:
         """Call host function *name*; returns ``(value, op_count)``."""

@@ -32,6 +32,7 @@ def unparse_module(module: ir.Module) -> str:
 
 
 def unparse_function(fn: ir.Function) -> str:
+    """Render one function (kernel or helper) as kernel-C source."""
     lines: list[str] = []
     params = ", ".join(_param(p) for p in fn.params)
     ret = fn.ret_type if isinstance(fn.ret_type, str) else str(fn.ret_type)

@@ -17,10 +17,21 @@ fastest correct tier for each dispatch:
   reference; selectable via :func:`set_legacy_execution` so benchmarks
   can measure old vs new on the same workload.
 
-Group-mode kernels (barriers / local memory) always run the lock-step
-generator engine and are priced through ``DeviceSpec.kernel_ns``
-unchanged.  All tiers produce identical warp maxima (tests assert it),
-so simulated nanoseconds never depend on the tier chosen.
+Group-mode kernels (barriers / local memory) are eligible for the
+vectorised tier too (barrier-phase execution with local arrays as numpy
+buffers); when ineligible they run the lock-step generator engine and
+are priced through ``DeviceSpec.kernel_ns`` unchanged.  All tiers
+produce identical warp maxima (tests assert it), so simulated
+nanoseconds never depend on the tier chosen.
+
+Every demotion from the vectorised tier is counted on the active tracer
+as ``dispatch.fallback`` plus ``dispatch.fallback.<reason>`` (reasons:
+``while-loop``, ``barrier``, ``user-call``, ``iter-cap``,
+``small-ndrange``, ``no-numpy``, … — see
+:func:`repro.kir.npcodegen.eligibility`), so BENCH regressions are
+diagnosable instead of silent.  Kernels with masked loops carry a
+runtime iteration cap; hitting it restores the pre-dispatch buffer
+contents and re-runs on the scalar warp-fold (counted as ``iter-cap``).
 
 The module also houses the **multi-device split** machinery
 (:func:`split_share_counts`, :func:`multi_device_kernel_ns`) used by
@@ -38,6 +49,8 @@ from typing import Optional, Sequence
 
 from ..errors import CLInvalidValue
 from .. import kir
+from ..kir import npcodegen as _npc
+from ..trace import current_tracer
 from .costmodel import DeviceSpec, group_warp_costs
 from .memory import HAVE_NUMPY, Buffer
 
@@ -64,6 +77,41 @@ def _listify(raw_args: Sequence) -> list:
     return [a.data if isinstance(a, Buffer) else a for a in raw_args]
 
 
+def _count_fallback(reason: str) -> None:
+    """Record one vectorised-tier demotion on the active tracer."""
+    tracer = current_tracer()
+    if tracer is not None and tracer.enabled:
+        tracer.count("dispatch.fallback", 1)
+        tracer.count(f"dispatch.fallback.{reason}", 1)
+
+
+def _fallback_reason(runner: "kir.KernelRunner", nitems: int) -> str:
+    """Why this dispatch is not taking the vectorised tier."""
+    if not HAVE_NUMPY:
+        return "no-numpy"
+    if runner.vec is None:
+        return runner.vec_reason or "ineligible"
+    return "small-ndrange"
+
+
+def _scalar_kernel_ns(
+    runner: "kir.KernelRunner",
+    spec: DeviceSpec,
+    raw_args: Sequence,
+    gsz: Sequence[int],
+    lsz: Sequence[int],
+) -> float:
+    """Non-vectorised reference execution (generator engine or
+    warp-fold runner, by kernel mode)."""
+    if runner.group_mode:
+        item_ops = runner.run_range(_listify(raw_args), gsz, lsz)
+        return spec.kernel_ns(item_ops, gsz, lsz)
+    group_warps = runner.run_group_warps(
+        _listify(raw_args), gsz, lsz, spec.simd_width
+    )
+    return spec.kernel_ns_from_group_warps(group_warps)
+
+
 def dispatch_kernel_ns(
     runner: "kir.KernelRunner",
     spec: DeviceSpec,
@@ -77,20 +125,29 @@ def dispatch_kernel_ns(
     this helper can choose the storage tier) and plain scalars
     otherwise.
     """
-    if runner.group_mode or _legacy:
+    if _legacy:
+        # Reference path for benchmarking; intentionally not counted as
+        # a fallback (nothing was demoted — the user asked for it).
         item_ops = runner.run_range(_listify(raw_args), gsz, lsz)
         return spec.kernel_ns(item_ops, gsz, lsz)
     nitems = 1
     for s in gsz:
         nitems *= s
-    if (
-        runner.vec is not None
-        and HAVE_NUMPY
-        and nitems >= VEC_MIN_ITEMS
-    ):
-        np_args = [
-            a.np_view() if isinstance(a, Buffer) else a for a in raw_args
-        ]
+    if runner.vec is None or not HAVE_NUMPY or nitems < VEC_MIN_ITEMS:
+        _count_fallback(_fallback_reason(runner, nitems))
+        return _scalar_kernel_ns(runner, spec, raw_args, gsz, lsz)
+    np_args = [
+        a.np_view() if isinstance(a, Buffer) else a for a in raw_args
+    ]
+    snaps: list[tuple[Buffer, object]] = []
+    if runner.vec.has_masked_loops:
+        # A masked loop may hit the iteration cap after partial stores;
+        # snapshot written buffers so the scalar rerun starts clean.
+        for i in runner.written_param_indices:
+            arg = raw_args[i]
+            if isinstance(arg, Buffer):
+                snaps.append((arg, arg.np_view().copy()))
+    try:
         try:
             group_warps = runner.vec.run_group_warps(
                 np_args, gsz, lsz, spec.simd_width
@@ -101,10 +158,12 @@ def dispatch_kernel_ns(
                 arg = raw_args[i]
                 if isinstance(arg, Buffer):
                     arg.mark_np_written()
-        return spec.kernel_ns_from_group_warps(group_warps)
-    group_warps = runner.run_group_warps(
-        _listify(raw_args), gsz, lsz, spec.simd_width
-    )
+    except _npc.VecIterationCap:
+        for arg, snap in snaps:
+            arg.np_view()[:] = snap
+            arg.mark_np_written()
+        _count_fallback("iter-cap")
+        return _scalar_kernel_ns(runner, spec, raw_args, gsz, lsz)
     return spec.kernel_ns_from_group_warps(group_warps)
 
 

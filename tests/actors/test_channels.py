@@ -60,6 +60,55 @@ class TestBlockingSemantics:
         thread.join(2)
         assert state
 
+    def test_rendezvous_fast_path_with_parked_receiver(self):
+        """A receiver already blocked without a timeout is committed to
+        consuming the message, so the sender may return immediately —
+        no Event round trip."""
+        out_port, in_port = channel()
+        got = []
+        ready = threading.Event()
+
+        def receiver():
+            ready.set()
+            got.append(in_port.receive())
+
+        thread = threading.Thread(target=receiver, daemon=True)
+        thread.start()
+        ready.wait(2)
+        # Let the receiver actually park in the condition wait.
+        deadline = time.monotonic() + 2
+        while not in_port._recv_waiting and time.monotonic() < deadline:
+            time.sleep(0.001)
+        assert in_port._recv_waiting == 1
+        start = time.monotonic()
+        out_port.send("payload")
+        elapsed = time.monotonic() - start
+        thread.join(2)
+        assert got == ["payload"]
+        assert elapsed < 0.5  # returned without a rendezvous sleep
+        assert in_port._recv_waiting == 0
+
+    def test_timeout_receiver_does_not_arm_fast_path(self):
+        """Receivers waiting *with* a timeout may give up, so senders
+        must still rendezvous through the Event."""
+        out_port, in_port = channel()
+        with pytest.raises(ChannelError, match="timed out"):
+            in_port.receive(timeout=0.01)
+        assert in_port._recv_waiting == 0
+        state = []
+
+        def sender():
+            out_port.send("late")
+            state.append("sent")
+
+        thread = threading.Thread(target=sender, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        assert not state  # no parked receiver -> classic blocking send
+        assert in_port.receive() == "late"
+        thread.join(2)
+        assert state == ["sent"]
+
     def test_buffered_send_does_not_block(self):
         out_port, in_port = channel(buffer=2)
         out_port.send(1)

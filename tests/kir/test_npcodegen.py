@@ -142,16 +142,16 @@ class TestAppKernels:
         run_all_tiers(lud_sources.KERNEL_SOURCE, kernel, scalars, arrays,
                       gsz, lsz)
 
-    def test_mandelbrot_falls_back_to_scalar_tiers(self):
-        """The escape-time loop is a ``while`` — not vectorisable — so
-        vec is None, but the scalar warp-fold still matches the
-        reference reduction."""
+    def test_mandelbrot_vectorised(self):
+        """The escape-time ``while`` now runs under iterative masked
+        evaluation, so the vec tier exists and matches the reference."""
         w = h = 12
         out = [0] * (w * h)
         runner = kernelc.build(
             mandelbrot_sources.KERNEL_SOURCE
         ).kernel_runner("mandelbrot")
-        assert runner.vec is None
+        assert runner.vec is not None
+        assert runner.vec.has_masked_loops
         run_all_tiers(
             mandelbrot_sources.KERNEL_SOURCE, "mandelbrot",
             [w, h, 32], [out], [w, h], [4, 4],
@@ -243,7 +243,7 @@ class TestWarpFolding:
 
 
 class TestEligibility:
-    def test_barrier_kernel_uses_group_mode(self):
+    def test_barrier_kernel_group_mode_and_vectorised(self):
         source = """
         __kernel void b(__global int *out) {
             int i = get_global_id(0);
@@ -253,13 +253,29 @@ class TestEligibility:
         """
         runner = kernelc.build(source).kernel_runner("b")
         assert runner.group_mode
-        assert runner.vec is None
+        assert runner.vec is not None
+        assert runner.vec_reason is None
 
-    def test_while_loop_rejected(self):
+    def test_while_loop_vectorised(self):
         runner = kernelc.build(
             mandelbrot_sources.KERNEL_SOURCE
         ).kernel_runner("mandelbrot")
+        assert runner.vec is not None
+        assert runner.vec_reason is None
+
+    def test_divergent_barrier_rejected_with_reason(self):
+        source = """
+        __kernel void b(__global int *out) {
+            int i = get_global_id(0);
+            if (i > 2) {
+                barrier(CLK_GLOBAL_MEM_FENCE);
+            }
+            out[i] = i;
+        }
+        """
+        runner = kernelc.build(source).kernel_runner("b")
         assert runner.vec is None
+        assert runner.vec_reason == "barrier"
 
     def test_private_array_kernel_vectorised(self):
         runner = kernelc.build(docrank_sources.KERNEL_SOURCE).kernel_runner(

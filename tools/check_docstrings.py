@@ -1,8 +1,9 @@
 #!/usr/bin/env python
 """Docstring lint for the documented core of the reproduction.
 
-Checks that every module under ``src/repro/opencl/`` (plus
-``src/repro/kcache.py``) carries a module docstring, and that each
+Checks that every module under ``src/repro/opencl/`` and
+``src/repro/kir/`` (plus ``src/repro/kcache.py``) carries a module
+docstring, and that each
 top-level *public* class and function in those modules states a
 one-line contract.  CI runs this so the scheduling/dispatch layer the
 architecture document describes cannot silently lose its contracts.
@@ -21,6 +22,7 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 #: Files and directories whose public surface must be documented.
 TARGETS = [
     os.path.join("src", "repro", "opencl"),
+    os.path.join("src", "repro", "kir"),
     os.path.join("src", "repro", "kcache.py"),
 ]
 
