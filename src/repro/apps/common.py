@@ -59,7 +59,14 @@ def merge_ledgers(*ledgers: Optional[CostLedger]) -> dict[str, float]:
 
 
 def reset_runtime_ledgers() -> None:
-    """Fresh ledgers on every runtime OpenCL environment."""
+    """Fresh ledgers on every runtime OpenCL environment.
+
+    Also restarts the clock's composed end-to-end timeline directly:
+    after a platform swap the device matrix holds no environments yet,
+    so no context reset would reach the timeline, and the upcoming
+    run's ``elapsed_ns`` would accumulate on top of the previous one.
+    """
+    current_clock().timeline.reset()
     device_matrix().reset_ledgers()
 
 

@@ -36,6 +36,7 @@ from ..opencl import (
     Device,
     Platform,
     cpu_spec,
+    current_clock,
     gpu_spec,
     reset_platforms,
     set_platforms,
@@ -72,6 +73,11 @@ class FigureResult:
     trace_summaries: dict[str, dict[str, float]] = field(default_factory=dict)
     #: per-variant Chrome trace files written when a trace_dir was given
     trace_files: dict[str, str] = field(default_factory=dict)
+    #: per-variant schedule-aware end-to-end view: ``elapsed_ns``
+    #: (critical-path time on the composed timeline, which the clock
+    #: restarts before each variant) plus its exact wall-time
+    #: attribution (transfer / compute / api / overlap / idle)
+    elapsed: dict[str, dict[str, float]] = field(default_factory=dict)
 
     def bar(self, label: str) -> Bar:
         for bar in self.bars:
@@ -193,6 +199,7 @@ def build_figure(
     bars: list[Bar] = []
     trace_summaries: dict[str, dict[str, float]] = {}
     trace_files: dict[str, str] = {}
+    elapsed: dict[str, dict[str, float]] = {}
     with scaled_devices(spec.compute_scale, spec.size_ratio,
                         spec.fixed_ratio):
         runs = [
@@ -212,6 +219,11 @@ def build_figure(
                 notes[label] = "no implementation"
                 continue
             tracer = Tracer()
+            # Restart the composed end-to-end timeline so this
+            # variant's elapsed_ns measures this variant alone (the
+            # ensemble runners also reset it via their own ledger
+            # reset; the flat-API and OpenACC runners never do).
+            current_clock().timeline.reset()
             try:
                 with tracing(tracer):
                     outcome = runner(device_type=device_type, **spec.params)
@@ -221,7 +233,8 @@ def build_figure(
                 continue
             raw[label] = outcome.breakdown
             results[label] = outcome.result
-            summary = tracer.summary()
+            summary = tracer.summary(with_elapsed=True)
+            elapsed[label] = summary.pop("elapsed")
             _check_trace_consistency(
                 spec.figure, label, outcome.breakdown, summary
             )
@@ -267,6 +280,7 @@ def build_figure(
         ),
         trace_summaries=trace_summaries,
         trace_files=trace_files,
+        elapsed=elapsed,
     )
 
 

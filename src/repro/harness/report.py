@@ -38,9 +38,46 @@ def render_figure(result: FigureResult, width: int = 46) -> str:
             continue
         filled = max(1, round(width * bar.total / peak))
         lines.append(f"{bar.label:<16}|{'#' * filled} {bar.total:.2f}x")
+    if result.elapsed:
+        lines.append("")
+        lines.append(render_elapsed(result))
     if result.trace_summaries:
         lines.append("")
         lines.append(render_trace_check(result))
+    return "\n".join(lines)
+
+
+#: Composed-timeline attribution kinds, in rendering order.
+_ELAPSED_KINDS = ("transfer", "compute", "api", "overlap", "idle")
+
+
+def render_elapsed(result: FigureResult) -> str:
+    """Per-variant end-to-end time on the composed schedule timeline.
+
+    ``elapsed`` is critical-path wall time: unlike the priced totals
+    above (which sum busy nanoseconds and are identical whatever the
+    schedule), it credits overlapped work once.  Each variant's elapsed
+    nanoseconds are attributed exactly — every instant is transfer,
+    compute, api, overlap (more than one kind in flight) or idle.
+    """
+    lines = [
+        "end-to-end schedule (elapsed ns, attributed; overlap counted "
+        "once):",
+        f"{'variant':<16}{'elapsed':>12}" + "".join(
+            f"{kind:>10}" for kind in _ELAPSED_KINDS
+        ),
+    ]
+    for bar in result.bars:
+        section = result.elapsed.get(bar.label)
+        if section is None:
+            lines.append(f"{bar.label:<16}  -- {bar.note}")
+            continue
+        cells = "".join(
+            f"{section.get(kind, 0.0):>10.0f}" for kind in _ELAPSED_KINDS
+        )
+        lines.append(
+            f"{bar.label:<16}{section.get('elapsed_ns', 0.0):>12.0f}{cells}"
+        )
     return "\n".join(lines)
 
 

@@ -18,7 +18,10 @@ from .costmodel import (  # noqa: F401
     GPU,
     CostLedger,
     DeviceSpec,
+    ScheduleTimeline,
     SimClock,
+    TIMELINE_KIND_OF,
+    TIMELINE_SEGMENTS,
     cpu_spec,
     gpu_spec,
     group_warp_costs,

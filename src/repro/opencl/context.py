@@ -16,7 +16,7 @@ from typing import Iterator, Optional, Sequence
 
 from ..errors import CLInvalidValue
 from ..trace import current_tracer
-from .costmodel import CostLedger, SimClock
+from .costmodel import TIMELINE_KIND_OF, CostLedger, SimClock
 from .platform import Device, Platform
 
 _context_ids = itertools.count(1)
@@ -217,6 +217,7 @@ class Context:
         track: Optional[str] = None,
         ts_ns: Optional[float] = None,
         args: Optional[dict] = None,
+        placed: bool = False,
     ) -> None:
         """Record *ns* of *category* cost on clock and ledger.
 
@@ -225,9 +226,19 @@ class Context:
         makes :meth:`repro.trace.Tracer.summary` agree with the ledger
         breakdown by construction.  The keyword arguments only refine
         the emitted span (label, track, device-timeline timestamp).
+
+        The charge also lands on the clock's composed end-to-end
+        timeline (:class:`~repro.opencl.costmodel.ScheduleTimeline`):
+        serially at the host cursor by default, or not at all when the
+        caller already *placed* it — command queues place their
+        commands at scheduled composed coordinates before charging.
         """
         now = self.clock.advance(ns)
         self.ledger.charge(category, ns)
+        if not placed:
+            self.clock.timeline.serial_advance(
+                TIMELINE_KIND_OF[category], ns
+            )
         tracer = current_tracer()
         if tracer.enabled:
             tracer.cost_span(
@@ -256,7 +267,14 @@ class Context:
         next run's figures.  (The process-global wall-clock compile
         cache in :mod:`repro.kcache` is unaffected — it carries no
         simulated cost.)
+
+        The clock's composed end-to-end timeline restarts with it (a
+        new epoch at origin 0), so the next run's ``elapsed_ns``
+        measures that run alone.  Queue-local schedule state — and the
+        ``queue.overlap_ns`` counters derived from it — is untouched;
+        live queues re-anchor their composed placement lazily.
         """
+        self.clock.timeline.reset()
         self.ledger = CostLedger()
         with self._registry_lock:
             self._program_registry.clear()

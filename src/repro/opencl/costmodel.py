@@ -26,6 +26,7 @@ import heapq
 import itertools
 import threading
 from dataclasses import dataclass, field
+from fractions import Fraction
 from typing import Sequence
 
 CPU = "CPU"
@@ -160,18 +161,194 @@ def _schedule(group_ns: Sequence[float], compute_units: int) -> float:
     return max(heap)
 
 
+#: Cost category -> composed-timeline segment kind (the end-to-end
+#: accounting vocabulary: every covered nanosecond of wall time is a
+#: transfer, compute or api nanosecond — or "overlap" where kinds
+#: coincide; see :meth:`ScheduleTimeline.attribution`).
+TIMELINE_KIND_OF = {
+    "h2d": "transfer",
+    "d2h": "transfer",
+    "kernel": "compute",
+    "host": "api",
+}
+
+#: Attribution buckets, in reporting order.
+TIMELINE_SEGMENTS = ("transfer", "compute", "api", "overlap", "idle")
+
+
+class ScheduleTimeline:
+    """The composed cross-queue end-to-end timeline of one clock.
+
+    The per-queue schedule timelines (``Event.sched_start_ns`` /
+    ``sched_end_ns``) are queue-local: origin 0 at queue creation, no
+    knowledge of host work or of other queues.  This class composes
+    everything priced on one :class:`SimClock` onto a **shared origin**
+    so a measured run has a single end-to-end wall-time axis:
+
+    * **serial work** — host API calls, VM bytecode, and device charges
+      that never pass through a command queue (the OpenACC runtime's
+      synchronous dispatches) — occupies the host cursor sequentially:
+      each charge covers ``[host_pos, host_pos + ns)`` and advances the
+      cursor;
+    * **queue commands** are *placed* by their queue at their composed
+      coordinates (``Event.e2e_start_ns`` / ``e2e_end_ns``): released
+      no earlier than the host cursor at enqueue time, then subject to
+      the same fence/dependency/engine rules as the queue-local
+      schedule (see repro.opencl.queue);
+    * :meth:`host_wait` models a blocking host call (``clFinish``): the
+      cursor jumps to the queue's composed makespan, so commands
+      enqueued afterwards — on *any* queue — start no earlier.
+
+    ``elapsed_ns`` is the critical-path end-to-end time: the maximum
+    covered instant.  :meth:`attribution` splits it exactly (computed
+    in rational arithmetic, so the buckets sum to ``elapsed_ns`` with
+    no nanosecond double-counted or dropped) into the four Figure-3-
+    style wall-time segments: ``transfer``, ``compute``, ``api`` and
+    ``overlap`` — the time during which work of more than one kind was
+    in flight, which per-category busy totals can never show.
+
+    ``reset()`` (called by ``Context.reset_ledger`` between measured
+    runs) starts a new epoch at origin 0; queues re-anchor their
+    composed state lazily on the next placement, keeping their
+    queue-local schedules — and ``queue.overlap_ns`` — intact.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: completed composed segments as ``(start, end, kind)`` tuples
+        self.segments: list[tuple[float, float, str]] = []
+        self._host_pos = 0.0
+        self._max_end = 0.0
+        self.epoch = 0
+
+    @property
+    def host_pos_ns(self) -> float:
+        """The host cursor: where serial work has advanced to."""
+        with self._lock:
+            return self._host_pos
+
+    @property
+    def elapsed_ns(self) -> float:
+        """End-to-end time: the latest covered composed instant."""
+        with self._lock:
+            return max(self._max_end, self._host_pos)
+
+    def serial_advance(self, kind: str, ns: float) -> float:
+        """Occupy ``[host_pos, host_pos + ns)`` with *kind*; returns the
+        segment's start.  Adjacent same-kind serial segments coalesce
+        (exact: attribution over ``[a,b)+[b,c)`` equals ``[a,c)``)."""
+        with self._lock:
+            start = self._host_pos
+            end = start + ns
+            self._host_pos = end
+            if ns > 0.0:
+                if (
+                    self.segments
+                    and self.segments[-1][1] == start
+                    and self.segments[-1][2] == kind
+                ):
+                    self.segments[-1] = (self.segments[-1][0], end, kind)
+                else:
+                    self.segments.append((start, end, kind))
+                if end > self._max_end:
+                    self._max_end = end
+            return start
+
+    def place(self, kind: str, start_ns: float, end_ns: float) -> None:
+        """Record a queue command at its composed coordinates."""
+        with self._lock:
+            if end_ns > start_ns:
+                self.segments.append((start_ns, end_ns, kind))
+                if end_ns > self._max_end:
+                    self._max_end = end_ns
+
+    def host_wait(self, until_ns: float) -> None:
+        """Block the host cursor until *until_ns* (``clFinish`` model).
+
+        The waiting time itself is idle host, not a segment: the device
+        work the host waits on already covers it.
+        """
+        with self._lock:
+            if until_ns > self._host_pos:
+                self._host_pos = until_ns
+
+    def reset(self) -> None:
+        """Start a new epoch at origin 0 (between measured runs)."""
+        with self._lock:
+            self.segments.clear()
+            self._host_pos = 0.0
+            self._max_end = 0.0
+            self.epoch += 1
+
+    def attribution_exact(self) -> dict[str, Fraction]:
+        """Exact wall-time split of ``[0, elapsed_ns)`` as Fractions.
+
+        A sweep over the segment boundaries attributes every elementary
+        interval to the one kind covering it, to ``overlap`` when kinds
+        of more than one sort cover it (concurrent same-kind work stays
+        that kind: two devices computing is still compute time), and to
+        ``idle`` when nothing covers it.  Fractions make the telescoping
+        sum exact: the bucket values sum to precisely ``elapsed_ns``.
+        """
+        with self._lock:
+            segs = [
+                (Fraction(s), Fraction(e), kind)
+                for s, e, kind in self.segments
+                if e > s
+            ]
+            elapsed = Fraction(max(self._max_end, self._host_pos))
+        totals = {segment: Fraction(0) for segment in TIMELINE_SEGMENTS}
+        if elapsed <= 0:
+            return totals
+        deltas: dict[Fraction, dict[str, int]] = {}
+        for start, end, kind in segs:
+            deltas.setdefault(start, {}).setdefault(kind, 0)
+            deltas[start][kind] += 1
+            deltas.setdefault(end, {}).setdefault(kind, 0)
+            deltas[end][kind] -= 1
+        deltas.setdefault(Fraction(0), {})
+        deltas.setdefault(elapsed, {})
+        bounds = sorted(deltas)
+        active: dict[str, int] = {}
+        for lo, hi in zip(bounds, bounds[1:]):
+            for kind, delta in deltas[lo].items():
+                active[kind] = active.get(kind, 0) + delta
+            if lo >= elapsed:
+                break
+            kinds = [k for k, depth in active.items() if depth > 0]
+            if not kinds:
+                bucket = "idle"
+            elif len(kinds) == 1:
+                bucket = kinds[0]
+            else:
+                bucket = "overlap"
+            totals[bucket] += min(hi, elapsed) - lo
+        return totals
+
+    def attribution(self) -> dict[str, float]:
+        """:meth:`attribution_exact` as floats, for reporting."""
+        return {
+            kind: float(value)
+            for kind, value in self.attribution_exact().items()
+        }
+
+
 class SimClock:
     """A monotonically accumulating simulated-time counter.
 
     The reproduction reports *busy time*: every priced action (transfer,
     kernel, API call, interpreted bytecode) adds its duration here.
     The clock is thread-safe because actor runtimes charge it from
-    multiple actor threads.
+    multiple actor threads.  The attached :class:`ScheduleTimeline`
+    (``clock.timeline``) composes the same charges onto a shared
+    end-to-end wall-time axis — busy time and elapsed time are the two
+    reported views of one run.
     """
 
     def __init__(self) -> None:
         self._now = 0.0
         self._lock = threading.Lock()
+        self.timeline = ScheduleTimeline()
 
     @property
     def now_ns(self) -> float:
@@ -188,6 +365,7 @@ class SimClock:
     def reset(self) -> None:
         with self._lock:
             self._now = 0.0
+        self.timeline.reset()
 
 
 @dataclass

@@ -39,6 +39,7 @@ from ..errors import (
 )
 from ..trace import current_tracer
 from .context import Context
+from .costmodel import TIMELINE_KIND_OF
 from .dispatch import dispatch_kernel_ns
 from .memory import Buffer
 from .platform import Device
@@ -83,7 +84,11 @@ class Event:
     Additionally carries the command's placement on its queue's
     schedule timeline (``sched_start_ns`` / ``sched_end_ns``, origin 0
     at queue creation): the serial chain position for an in-order
-    queue, the list-scheduled position for an out-of-order one.
+    queue, the list-scheduled position for an out-of-order one.  The
+    same placement composed with host work and every other queue of the
+    clock — the shared-origin end-to-end axis — is carried as
+    ``e2e_start_ns`` / ``e2e_end_ns`` (see
+    :class:`~repro.opencl.costmodel.ScheduleTimeline`).
     """
 
     def __init__(
@@ -105,6 +110,11 @@ class Event:
         #: placement on the owning queue's schedule timeline
         self.sched_start_ns = 0.0
         self.sched_end_ns = duration_ns
+        #: placement on the clock's composed end-to-end timeline
+        self.e2e_start_ns = 0.0
+        self.e2e_end_ns = duration_ns
+        #: composed-timeline epoch the e2e placement belongs to
+        self._e2e_epoch = 0
 
     @property
     def queue_delay_ns(self) -> float:
@@ -171,6 +181,19 @@ class CommandQueue:
         self._fence_ns = 0.0
         #: overlap already reported to the tracer counter
         self._overlap_reported = 0.0
+        # -- composed (end-to-end) schedule state, shared-origin ------
+        #: composed-timeline epoch the state below belongs to; when the
+        #: timeline resets (Context.reset_ledger between runs) the queue
+        #: re-anchors lazily at the new origin
+        self._e2e_epoch = context.clock.timeline.epoch
+        #: end of the previous command on the composed axis (in-order)
+        self._e2e_prev_end = 0.0
+        #: per-engine availability on the composed axis (out-of-order)
+        self._e2e_engine_free: dict[str, float] = {}
+        #: composed-axis fence (barrier/finish ordering point)
+        self._e2e_fence = 0.0
+        #: end of the latest-finishing command on the composed axis
+        self._e2e_max_end = 0.0
         context._queues.append(self)
 
     # -- schedule -----------------------------------------------------------
@@ -190,6 +213,36 @@ class CommandQueue:
         """Schedule time saved vs an in-order drain (0 when in-order)."""
         return max(0.0, self._serial_end - self._sched_max_end)
 
+    @property
+    def e2e_makespan_ns(self) -> float:
+        """End of this queue's schedule on the composed end-to-end axis
+        (0.0 when nothing was placed since the timeline's last epoch)."""
+        if self._e2e_epoch != self.context.clock.timeline.epoch:
+            return 0.0
+        return self._e2e_max_end
+
+    def _e2e_anchor(self, epoch: int) -> None:
+        """Re-anchor composed-axis state at a new timeline epoch.
+
+        ``Context.reset_ledger`` restarts the composed timeline at
+        origin 0; composed coordinates recorded before the reset are
+        stale, so the per-engine availability, fence and makespan drop
+        back to the origin.  Queue-local schedule state (serial end,
+        makespan, ``overlap_ns``) deliberately survives: it describes
+        the queue, not the measured run.
+        """
+        if self._e2e_epoch != epoch:
+            self._e2e_prev_end = 0.0
+            self._e2e_engine_free.clear()
+            self._e2e_fence = 0.0
+            self._e2e_max_end = 0.0
+            self._e2e_epoch = epoch
+
+    @staticmethod
+    def _e2e_end_of(event: Event, epoch: int) -> float:
+        """*event*'s composed end, or 0.0 when from a stale epoch."""
+        return event.e2e_end_ns if event._e2e_epoch == epoch else 0.0
+
     def _schedule(
         self,
         event: Event,
@@ -199,35 +252,60 @@ class CommandQueue:
         writes: Iterable[int],
         wait_for: Optional[Sequence[Event]],
     ) -> None:
-        """Place *event* on the schedule timeline and update hazards.
+        """Place *event* on both schedule timelines and update hazards.
 
-        In-order: chained after the previous command.  Out-of-order:
-        placed at max(engine availability, dependency ends, fence),
-        where dependencies are the explicit *wait_for* events plus the
-        inferred RAW/WAR/WAW hazards on *reads*/*writes*.
+        Queue-local axis — in-order: chained after the previous
+        command; out-of-order: placed at max(engine availability,
+        dependency ends, fence), where dependencies are the explicit
+        *wait_for* events plus the inferred RAW/WAR/WAW hazards on
+        *reads*/*writes*.
+
+        Composed axis — the same rules with composed coordinates, plus
+        one extra lower bound: the host cursor at enqueue time (a
+        command cannot start before the host issued it).
         """
+        timeline = self.context.clock.timeline
+        epoch = timeline.epoch
+        self._e2e_anchor(epoch)
+        release = timeline.host_pos_ns
+        event._e2e_epoch = epoch
+
         serial_start = self._serial_end
         self._serial_end = serial_start + ns
         if not self.out_of_order:
             event.sched_start_ns = serial_start
             event.sched_end_ns = serial_start + ns
             self._sched_max_end = self._serial_end
+            e2e_start = max(release, self._e2e_prev_end)
+            e2e_end = e2e_start + ns
+            event.e2e_start_ns = e2e_start
+            event.e2e_end_ns = e2e_end
+            self._e2e_prev_end = e2e_end
+            self._e2e_max_end = max(self._e2e_max_end, e2e_end)
+            timeline.place(
+                TIMELINE_KIND_OF[event.category], e2e_start, e2e_end
+            )
             return
 
         ready = self._fence_ns
+        e2e_ready = max(release, self._e2e_fence)
         if wait_for:
             for dep in wait_for:
                 ready = max(ready, dep.sched_end_ns)
+                e2e_ready = max(e2e_ready, self._e2e_end_of(dep, epoch))
         for buf_id in reads:
             writer = self._last_writer.get(buf_id)
             if writer is not None:
                 ready = max(ready, writer.sched_end_ns)
+                e2e_ready = max(e2e_ready, self._e2e_end_of(writer, epoch))
         for buf_id in writes:
             writer = self._last_writer.get(buf_id)
             if writer is not None:
                 ready = max(ready, writer.sched_end_ns)
+                e2e_ready = max(e2e_ready, self._e2e_end_of(writer, epoch))
             for reader in self._last_readers.get(buf_id, ()):
                 ready = max(ready, reader.sched_end_ns)
+                e2e_ready = max(e2e_ready, self._e2e_end_of(reader, epoch))
         engine = ENGINE_OF[command]
         start = max(ready, self._engine_free.get(engine, 0.0))
         end = start + ns
@@ -235,6 +313,13 @@ class CommandQueue:
         event.sched_end_ns = end
         self._engine_free[engine] = end
         self._sched_max_end = max(self._sched_max_end, end)
+        e2e_start = max(e2e_ready, self._e2e_engine_free.get(engine, 0.0))
+        e2e_end = e2e_start + ns
+        event.e2e_start_ns = e2e_start
+        event.e2e_end_ns = e2e_end
+        self._e2e_engine_free[engine] = e2e_end
+        self._e2e_max_end = max(self._e2e_max_end, e2e_end)
+        timeline.place(TIMELINE_KIND_OF[event.category], e2e_start, e2e_end)
 
         for buf_id in writes:
             self._last_writer[buf_id] = event
@@ -255,13 +340,18 @@ class CommandQueue:
                 ts_ns=start,
                 dur_ns=ns,
                 category="sched",
-                args={"ready_ns": ready, "serial_start_ns": serial_start},
+                args={
+                    "ready_ns": ready,
+                    "serial_start_ns": serial_start,
+                    "e2e_start_ns": e2e_start,
+                },
             )
 
     def _sync_schedule(self) -> None:
         """Fence the schedule: later commands start after everything
         scheduled so far (out-of-order ``finish``/barrier semantics)."""
         self._fence_ns = max(self._fence_ns, self._sched_max_end)
+        self._e2e_fence = max(self._e2e_fence, self._e2e_max_end)
         self._last_writer.clear()
         self._last_readers.clear()
 
@@ -296,6 +386,7 @@ class CommandQueue:
                 queued_ns=queued,
                 queue_delay_ns=event.queue_delay_ns,
             ),
+            placed=True,
         )
         self.events.append(event)
         return event
@@ -525,17 +616,30 @@ class CommandQueue:
         wait_for: Optional[Sequence[Event]],
         fence: bool,
     ) -> Event:
+        timeline = self.context.clock.timeline
+        epoch = timeline.epoch
+        self._e2e_anchor(epoch)
         queued = self.context.clock.now_ns
         event = Event(command, "kernel", queued, 0.0)
+        event._e2e_epoch = epoch
         if wait_for:
             at = max((dep.sched_end_ns for dep in wait_for), default=0.0)
+            e2e_at = max(
+                (self._e2e_end_of(dep, epoch) for dep in wait_for),
+                default=0.0,
+            )
         else:
             at = self._sched_max_end
+            e2e_at = self._e2e_max_end
         at = max(at, self._fence_ns)
+        e2e_at = max(e2e_at, self._e2e_fence, timeline.host_pos_ns)
         event.sched_start_ns = at
         event.sched_end_ns = at
+        event.e2e_start_ns = e2e_at
+        event.e2e_end_ns = e2e_at
         if fence and self.out_of_order:
             self._fence_ns = max(self._fence_ns, at)
+            self._e2e_fence = max(self._e2e_fence, e2e_at)
             if wait_for is None:
                 self._sync_schedule()
         self.events.append(event)
@@ -549,7 +653,15 @@ class CommandQueue:
         For an out-of-order queue this is also a schedule ordering
         point: commands enqueued afterwards start no earlier than
         everything scheduled so far, exactly like ``clFinish``.
+
+        On the composed end-to-end timeline (both modes) it is the
+        blocking host call it models: the host cursor advances to this
+        queue's composed makespan, so commands enqueued afterwards —
+        on *any* queue of the clock — start no earlier.
         """
+        timeline = self.context.clock.timeline
+        if self._e2e_epoch == timeline.epoch:
+            timeline.host_wait(self._e2e_max_end)
         if self.out_of_order:
             self._sync_schedule()
 

@@ -149,6 +149,7 @@ class EnsembleVM:
         ns = instructions * BYTECODE_NS
         now = self.clock.advance(ns)
         self.ledger.charge("host", ns)
+        self.clock.timeline.serial_advance("api", ns)
         tracer = current_tracer()
         if tracer.enabled:
             tracer.cost_span(
@@ -452,6 +453,7 @@ class EnsembleVM:
         ns = 0.6 * elements
         now = self.clock.advance(ns)
         self.ledger.charge("host", ns)
+        self.clock.timeline.serial_advance("api", ns)
         tracer = current_tracer()
         if tracer.enabled:
             tracer.cost_span(

@@ -67,6 +67,23 @@ def _sim_now() -> float:
     return current_clock().now_ns
 
 
+#: Keys of the with_elapsed summary section, mirroring
+#: repro.opencl.costmodel.TIMELINE_SEGMENTS (duplicated literally here
+#: because repro.opencl imports this package at load time).
+_ELAPSED_KEYS = ("transfer", "compute", "api", "overlap", "idle")
+
+
+def _elapsed_section() -> dict[str, float]:
+    # Snapshot of the current clock's composed end-to-end timeline
+    # (lazy import for the same load-order reason as _sim_now).
+    from ..opencl.context import current_clock
+
+    timeline = current_clock().timeline
+    section = timeline.attribution()
+    section["elapsed_ns"] = timeline.elapsed_ns
+    return section
+
+
 @dataclass
 class Span:
     """One completed interval on a track of the simulated timeline."""
@@ -255,7 +272,10 @@ class Tracer:
             return [s for s in self.spans if s.track == track]
 
     def summary(
-        self, with_counters: bool = False, by_track: bool = False
+        self,
+        with_counters: bool = False,
+        by_track: bool = False,
+        with_elapsed: bool = False,
     ) -> dict[str, Any]:
         """The Figure 3 four-segment breakdown, from raw cost spans.
 
@@ -276,6 +296,18 @@ class Tracer:
         track (e.g. ``device/<name>``) to its own four-segment
         sub-breakdown, which makes per-device costs of a multi-device
         dispatch directly visible.
+
+        With ``with_elapsed=True`` an ``"elapsed"`` key is added with
+        the schedule-aware end-to-end view from the current clock's
+        composed timeline (the axis the ``sched.*`` spans' additional
+        ``e2e_start_ns`` arg aligns to): ``elapsed_ns`` (critical-path
+        end-to-end time) plus its exact wall-time attribution —
+        ``transfer`` / ``compute`` / ``api`` / ``overlap`` / ``idle``.
+        Unlike the four busy-time segments above, these describe
+        *coverage*: a nanosecond with transfers and kernels both in
+        flight is one ``overlap`` nanosecond, not two busy ones.  Read
+        it while the measured run's clock is still current (inside the
+        same ``fresh_clock()`` / before the next ledger reset).
         """
         totals: dict[str, Any] = {
             segment: 0.0 for segment in SEGMENT_OF.values()
@@ -300,6 +332,8 @@ class Tracer:
             }
         if by_track:
             totals["tracks"] = tracks
+        if with_elapsed:
+            totals["elapsed"] = _elapsed_section()
         return totals
 
 
@@ -335,7 +369,10 @@ class NullTracer:
         return []
 
     def summary(
-        self, with_counters: bool = False, by_track: bool = False
+        self,
+        with_counters: bool = False,
+        by_track: bool = False,
+        with_elapsed: bool = False,
     ) -> dict[str, Any]:
         totals: dict[str, Any] = {
             segment: 0.0 for segment in SEGMENT_OF.values()
@@ -344,6 +381,11 @@ class NullTracer:
             totals["counters"] = {}
         if by_track:
             totals["tracks"] = {}
+        if with_elapsed:
+            totals["elapsed"] = {
+                segment: 0.0 for segment in _ELAPSED_KEYS
+            }
+            totals["elapsed"]["elapsed_ns"] = 0.0
         return totals
 
 

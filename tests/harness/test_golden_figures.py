@@ -75,6 +75,34 @@ def test_movability_ablation_unchanged(golden: dict) -> None:
         assert ledger.bytes_from_device == want[key]["bytes_from_device"]
 
 
+def test_overlap_e2e_ablation_unchanged(golden: dict) -> None:
+    """The end-to-end variant of the out-of-order ablation is frozen:
+    queue makespans, composed elapsed time and its exact wall-time
+    attribution, per mode.  The run uses actor threads, so this also
+    pins down that composed-timeline placement is schedule-determined,
+    not thread-timing-determined."""
+    from repro.opencl.context import current_clock
+    from repro.runtime.oclenv import set_out_of_order_queues
+
+    want = golden["ablations"]["overlap_e2e"]
+    n = want["n"]
+    try:
+        for key, out_of_order in (("in_order", False),
+                                  ("out_of_order", True)):
+            with scaled_devices(0.08, 1.0, 2048 / n):
+                set_out_of_order_queues(out_of_order)
+                lud.run_actors(n, "GPU", movable=False)
+                (env,) = device_matrix().environments()
+                timeline = current_clock().timeline
+                expected = want[key]
+                assert env.queue.makespan_ns == expected["makespan_ns"]
+                assert env.queue.overlap_ns == expected["overlap_ns"]
+                assert timeline.elapsed_ns == expected["elapsed_ns"]
+                assert timeline.attribution() == expected["attribution"]
+    finally:
+        set_out_of_order_queues(False)
+
+
 def test_vm_cost_ablation_unchanged(golden: dict) -> None:
     want = golden["ablations"]["vm_cost"]
     for bytecode_ns in (1.0, 4.0, 16.0):
