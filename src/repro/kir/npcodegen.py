@@ -30,11 +30,31 @@ Three escalating capabilities make almost every kernel eligible:
   eligibility restricts barriers to dispatch-uniform control flow so
   the scalar engine would never diagnose divergence either.
 
+Two optimisation passes keep deep divergent loops cheap without
+changing anything observable:
+
+* **Active-lane compaction** — a masked loop whose live-lane density
+  falls below :data:`COMPACT_DENSITY` (re-checked every
+  :data:`COMPACT_CHECK_EVERY` rounds) gathers its loop-carried state
+  into a contiguous array via ``np.flatnonzero`` and runs subsequent
+  rounds at the compacted width, scattering results back to full width
+  on exit.  Charging, mask subtraction and the iteration cap are
+  bit-identical to the full-width path; the thresholds are read at run
+  time (see :func:`repro.opencl.dispatch.configure`), so cached
+  kernels honour later configuration changes.
+* **Common-subexpression elimination** — pure ``ir.Expr`` subtrees are
+  hashed per masked region at codegen time and repeated occurrences
+  (e.g. a loop condition's ``x*x + y*y`` reused in its body) become
+  single-assignment temporaries, invalidated on assignments to their
+  dependencies and conservatively on any store to an array.
+
 Op accounting mirrors ``_FnCompiler.block`` exactly (same per-block
 batching, the same ``+1`` / ``+2`` control-flow charges, masked where
 the scalar path is conditional), so the folded warp maxima — and hence
 every simulated nanosecond — are identical to the scalar engines';
-tests assert this.
+tests assert this.  Both passes above are charging-equivalent by
+construction: charges derive from static IR costs, never from the
+numpy expressions actually emitted.
 
 Kernels the tier still refuses (reason strings surface as
 ``dispatch.fallback.<reason>`` trace counters): ``get_work_dim``
@@ -59,6 +79,7 @@ engine carries all execution.
 from __future__ import annotations
 
 import math
+import threading
 from typing import Any, Optional, Sequence
 
 from ..errors import KirRuntimeError
@@ -92,6 +113,19 @@ LOOP_ITER_CAP = 65536
 
 class VecIterationCap(Exception):
     """A masked loop exceeded :data:`LOOP_ITER_CAP` iterations."""
+
+
+#: Live-lane density below which a compactible masked loop compresses
+#: to its active lanes.  ``0.0`` disables compaction; ``1.0`` compacts
+#: as soon as any lane has exited.  Mutated via
+#: :func:`repro.opencl.dispatch.configure`; read at run time by
+#: generated kernels, so the setting applies to already-compiled code.
+COMPACT_DENSITY = 0.5
+
+#: How many loop rounds pass between density checks (the first round of
+#: every compactible loop is always checked, so a loop entered under a
+#: sparse mask compacts immediately).
+COMPACT_CHECK_EVERY = 8
 
 
 _NP_DTYPE_OF = {"int": "__np.int64", "float": "__np.float64", "bool": "bool"}
@@ -269,6 +303,94 @@ def _vstore2(arr: Any, rows: Any, idx: Any, val: Any, m: Any) -> None:
     arr[r, i] = v
 
 
+# -- lane compaction runtime ------------------------------------------------
+
+
+def _should_compact(rounds: int, act: Any) -> bool:
+    """Whether a compactible masked loop should (re)compress now.
+
+    Checked at the top of every loop round: fires every
+    :data:`COMPACT_CHECK_EVERY` rounds when the live-lane density of
+    *act* has dropped below :data:`COMPACT_DENSITY`.  Reads the module
+    configuration at call time so
+    :func:`repro.opencl.dispatch.configure` affects kernels that were
+    compiled (and cached process-wide) earlier.
+    """
+    if COMPACT_DENSITY <= 0.0:
+        return False
+    if rounds % COMPACT_CHECK_EVERY:
+        return False
+    return int(act.sum()) < COMPACT_DENSITY * act.shape[0]
+
+
+def _vsave(v: Any) -> Any:
+    """Snapshot a loop-carried value at the first compaction event.
+
+    Arrays are copied: later rounds scatter into the snapshot in place,
+    and the pre-loop value may be aliased by other variables (an
+    unmasked ``b = x`` emits a direct rebind), so mutating the original
+    object would corrupt them.  Scalars (lanes that never diverged) are
+    returned as-is.
+    """
+    return v.copy() if _is_arr(v) else v
+
+
+def _vtake(v: Any, sel: Any) -> Any:
+    """Gather the *sel* lanes of a per-lane value (no-op on scalars)."""
+    return v[sel] if _is_arr(v) else v
+
+
+def _vput(full: Any, sel: Any, val: Any, width: int) -> Any:
+    """Scatter a compacted value back into its full-width snapshot.
+
+    *full* is the (private, see :func:`_vsave`) snapshot at *width*
+    lanes, *sel* the absolute indices the compact *val* occupies.  A
+    scalar *val* with a scalar snapshot means the variable has only ever
+    seen unmasked uniform assignments (a ``for`` induction variable with
+    scalar bounds keeps incrementing as a plain int), so the *current*
+    value is the full-width value — returning the stale snapshot would
+    rewind the variable at the next regather.  A scalar on one side only
+    is promoted/broadcast before the scatter.
+    """
+    if not _is_arr(val) and not _is_arr(full):
+        return val
+    if not _is_arr(full):
+        full = _np.full(width, full)
+    full[sel] = val
+    return full
+
+
+class _CompactStats(threading.local):
+    """Per-thread compaction accounting (events and compacted rounds)."""
+
+    events = 0
+    rounds = 0
+
+
+_compact_stats = _CompactStats()
+
+
+def _note_compaction(events: int, rounds: int) -> None:
+    """Accumulate compaction stats (called from generated kernels).
+
+    *events* is counted eagerly at each compaction event (so a loop
+    that later hits the iteration cap still reports them); *rounds* —
+    the number of loop rounds evaluated at compacted width — is
+    reported once at loop exit.
+    """
+    _compact_stats.events += events
+    _compact_stats.rounds += rounds
+
+
+def thread_compact_stats() -> tuple[int, int]:
+    """This thread's cumulative ``(events, compacted_rounds)``.
+
+    The dispatcher snapshots this around a vectorised run and counts
+    the delta as ``dispatch.compact`` / ``dispatch.compact.rounds``.
+    """
+    return _compact_stats.events, _compact_stats.rounds
+
+
 def _namespace_base() -> dict[str, Any]:
     return {
         "__np": _np,
@@ -292,6 +414,11 @@ def _namespace_base() -> dict[str, Any]:
         "__kre": KirRuntimeError,
         "__CAP": LOOP_ITER_CAP,
         "__vcaperr": VecIterationCap,
+        "__vcshould": _should_compact,
+        "__vsave": _vsave,
+        "__vtake": _vtake,
+        "__vput": _vput,
+        "__vcstats": _note_compaction,
     }
 
 
@@ -609,6 +736,23 @@ class _VecCompiler:
         #: True once any masked loop was emitted (the iteration cap can
         #: fire at runtime, so dispatch snapshots written buffers)
         self.has_masked_loops = False
+        #: stack of width expressions; compactible masked loops push
+        #: their current-width variable so inner mask materialisation
+        #: (``__vmask`` / ``ones``) matches the compacted lane count
+        self.widths: list[str] = ["__n"]
+        #: per-lane work-item index arrays emitted by the prologue
+        #: (``__lin`` always, plus any ``__g*``/``__l*``/``__grp*`` and
+        #: ``__grow``); compaction gathers them so absolute-index
+        #: semantics survive at compacted width
+        self.lane_arrays: list[str] = ["__lin"]
+        #: CSE availability table: structural key -> (temp, deps, load)
+        self.cse_table: dict = {}
+        #: keys added per lexical scope (popped when leaving a
+        #: conditionally-executed region, so a temp assigned under a
+        #: runtime-skippable branch is never reused outside it)
+        self.cse_scopes: list[set] = [set()]
+        #: static count of eliminated re-evaluations (reuse sites)
+        self.cse_hits = 0
         self.tmp = 0
 
     def var(self, name: str) -> str:
@@ -644,9 +788,137 @@ class _VecCompiler:
             # order of magnitude and is density-independent.
             self.em.emit(f"__ops += {self.mask} * {n}")
 
+    def _width(self) -> str:
+        """The lane-count expression masks materialise at (the full
+        ``__n``, or the innermost compacted loop's width variable)."""
+        return self.widths[-1]
+
+    # -- common-subexpression elimination -------------------------------
+
+    def _cse_clear(self) -> None:
+        """Drop every available expression (region boundary)."""
+        self.cse_table.clear()
+
+    def _cse_push(self) -> None:
+        self.cse_scopes.append(set())
+
+    def _cse_pop(self) -> None:
+        """Leave a conditionally-executed region: its temps may not
+        have been assigned at runtime, so they are not reusable."""
+        for key in self.cse_scopes.pop():
+            self.cse_table.pop(key, None)
+
+    def _cse_kill(self, name: str) -> None:
+        """Invalidate entries depending on *name* (it was reassigned)."""
+        if not self.cse_table:
+            return
+        dead = [
+            k for k, (_, deps, _) in self.cse_table.items() if name in deps
+        ]
+        for k in dead:
+            del self.cse_table[k]
+
+    def _cse_kill_loads(self) -> None:
+        """Invalidate every entry containing an array load.  Any store
+        may alias any array (two parameters can name the same buffer),
+        so stores are treated as clobbering all of them."""
+        if not self.cse_table:
+            return
+        dead = [k for k, (_, _, load) in self.cse_table.items() if load]
+        for k in dead:
+            del self.cse_table[k]
+
+    def _cse_key(self, e: ir.Expr):
+        """Structural availability key for *e*, or None when the
+        expression is not cacheable (user calls, whose inlining emits
+        statements).  Variable names are resolved through the inline
+        scopes; mask-dependent forms (division helpers, loads) embed
+        the current mask name so a reuse under a different mask misses.
+        """
+        if isinstance(e, ir.Const):
+            return ("c", type(e.value).__name__, e.value)
+        if isinstance(e, ir.Var):
+            return ("v", self.var(e.name))
+        if isinstance(e, ir.UnOp):
+            k = self._cse_key(e.operand)
+            return None if k is None else ("u", e.op, k)
+        if isinstance(e, ir.BinOp):
+            lk = self._cse_key(e.left)
+            rk = self._cse_key(e.right)
+            if lk is None or rk is None:
+                return None
+            if e.op in ("/", "%"):
+                kinds = (_kind(e.left), _kind(e.right))
+                return ("d", e.op, kinds, self._m(), lk, rk)
+            return ("b", e.op, lk, rk)
+        if isinstance(e, ir.Cast):
+            k = self._cse_key(e.operand)
+            return None if k is None else ("t", e.target.kind, k)
+        if isinstance(e, ir.Select):
+            ks = tuple(
+                self._cse_key(x) for x in (e.cond, e.if_true, e.if_false)
+            )
+            return None if None in ks else ("s",) + ks
+        if isinstance(e, ir.Index):
+            if not isinstance(e.base, ir.Var):
+                return None
+            ik = self._cse_key(e.index)
+            if ik is None:
+                return None
+            return ("l", self.var(e.base.name), self._m(), ik)
+        if isinstance(e, ir.Call):
+            if e.name in ir.WORKITEM_BUILTINS:
+                return ("v", self._call(e))
+            if e.name in _NP_MATH:
+                ks = tuple(self._cse_key(a) for a in e.args)
+                return None if None in ks else ("m", e.name, ks)
+        return None
+
+    def _cse_deps(self, e: ir.Expr) -> tuple[frozenset, bool]:
+        """(resolved names the cached value depends on, contains-load)."""
+        deps: set[str] = set()
+        load = False
+        masked = False
+        for node in ir.walk_exprs(e):
+            if isinstance(node, ir.Var):
+                deps.add(self.var(node.name))
+            elif isinstance(node, ir.Index):
+                load = True
+                masked = True
+            elif isinstance(node, ir.BinOp) and node.op in ("/", "%"):
+                masked = True
+        if masked and self.mask is not None:
+            # Mask-aware helpers bake the mask's value in; killing on
+            # mask reassignment (break/continue/return subtraction,
+            # per-round act updates) keeps reuse exact.
+            deps.add(self.mask)
+        return frozenset(deps), load
+
     # -- expressions ----------------------------------------------------
 
     def expr(self, e: ir.Expr) -> str:
+        """Emit *e*, reusing a previously computed temp when an
+        identical pure subexpression is still available."""
+        if isinstance(e, (ir.Const, ir.Var)):
+            return self._expr_raw(e)
+        if isinstance(e, ir.Call) and e.name in ir.WORKITEM_BUILTINS:
+            return self._expr_raw(e)
+        key = self._cse_key(e)
+        if key is None:
+            return self._expr_raw(e)
+        hit = self.cse_table.get(key)
+        if hit is not None:
+            self.cse_hits += 1
+            return hit[0]
+        code = self._expr_raw(e)
+        tmp = self.fresh("c")
+        self.em.emit(f"{tmp} = {code}")
+        deps, load = self._cse_deps(e)
+        self.cse_table[key] = (tmp, deps, load)
+        self.cse_scopes[-1].add(key)
+        return tmp
+
+    def _expr_raw(self, e: ir.Expr) -> str:
         if isinstance(e, ir.Const):
             if isinstance(e.value, bool):
                 return "True" if e.value else "False"
@@ -761,7 +1033,7 @@ class _VecCompiler:
             live = self.fresh_mask()
             cur = self.mask
             if cur is None:
-                self.em.emit(f"{live} = __np.ones(__n, dtype=bool)")
+                self.em.emit(f"{live} = __np.ones({self._width()}, dtype=bool)")
             else:
                 self.em.emit(f"{live} = {cur}")
             self.masks.append(live)
@@ -825,6 +1097,7 @@ class _VecCompiler:
                 self._assign(st.name, self.expr(st.init), declares=True)
             else:
                 em.emit(f"{self.var(st.name)} = {_ZERO[st.type.kind]}")
+                self._cse_kill(self.var(st.name))
         elif isinstance(st, ir.Assign):
             self._assign(st.name, self.expr(st.value))
         elif isinstance(st, ir.Store):
@@ -839,6 +1112,7 @@ class _VecCompiler:
                 )
             else:
                 em.emit(f"__vstore({base}, {idx}, {val}, {self._m()})")
+            self._cse_kill_loads()
         elif isinstance(st, ir.ExprStmt):
             em.emit(f"_ = {self.expr(st.expr)}")
         else:  # pragma: no cover - guarded by block()
@@ -854,12 +1128,14 @@ class _VecCompiler:
             self.em.emit(
                 f"{target} = __np.where({self.mask}, {value}, {target})"
             )
+        self._cse_kill(target)
 
     def _kill_masks(self, names: Sequence[str], cap: str) -> None:
         seen: set[str] = set()
         for v in names:
             if v not in seen:
                 self.em.emit(f"{v} = {v} & ~{cap}")
+                self._cse_kill(v)
                 seen.add(v)
 
     def return_stmt(self, st: ir.Return) -> None:
@@ -900,7 +1176,7 @@ class _VecCompiler:
         if isinstance(st, ir.If):
             self.add_ops(_static_cost(st.cond) + 1)
             raw = self.fresh_mask()
-            em.emit(f"{raw} = __vmask({self.expr(st.cond)}, __n)")
+            em.emit(f"{raw} = __vmask({self.expr(st.cond)}, {self._width()})")
             then_mask = raw if self.mask is None else self.fresh_mask()
             if self.mask is not None:
                 em.emit(f"{then_mask} = {raw} & {self.mask}")
@@ -908,7 +1184,9 @@ class _VecCompiler:
                 em.emit(f"if {then_mask}.any():")
                 em.indent += 1
                 self.masks.append(then_mask)
+                self._cse_push()
                 self.block(st.then)
+                self._cse_pop()
                 self.masks.pop()
                 em.indent -= 1
             if st.orelse:
@@ -920,7 +1198,9 @@ class _VecCompiler:
                 em.emit(f"if {else_mask}.any():")
                 em.indent += 1
                 self.masks.append(else_mask)
+                self._cse_push()
                 self.block(st.orelse)
+                self._cse_pop()
                 self.masks.pop()
                 em.indent -= 1
         elif isinstance(st, ir.For):
@@ -967,8 +1247,143 @@ class _VecCompiler:
             f"for {self.var(st.var)} in range({start}, {stop}, {step}):"
         )
         em.indent += 1
+        # Entries from before the loop could be stale by iteration 2
+        # (their deps may be assigned later in the body); entries made
+        # inside are undefined after a zero-trip loop.  Clear at both
+        # boundaries, keeping only within-body reuse.
+        self._cse_clear()
         self.add_ops(2)
         self.block(st.body)
+        self._cse_clear()
+        em.indent -= 1
+
+    # -- lane compaction ------------------------------------------------
+
+    def _compaction_plan(self, st) -> Optional[dict]:
+        """Build the gather/scatter plan for a masked loop, or None
+        when the loop cannot be compacted.
+
+        A loop is compactible unless its body contains ``return``: a
+        return must subtract lanes from masks of the *enclosing* width
+        (the kernel's ``__live`` or an enclosing callee's live mask),
+        which do not exist at compacted width.  ``break``/``continue``
+        always bind to masks created inside the region, so they are
+        safe.
+
+        The gather set is every per-lane value the region can read or
+        write between rounds: loop-carried variant variables (region
+        reads/writes, minus names declared inside the region and inner
+        loop variables, which are rebound before use), the op vector,
+        and the prologue's work-item index arrays — ``__lin`` stays in
+        *absolute* lane indices after gathering, so private-array rows
+        and store targets keep full-width addressing.  Values never
+        assigned in the region are restored by reference on exit;
+        assigned ones are snapshotted (copied) at the first event and
+        scattered back through it.
+        """
+        body = st.body
+        if any(isinstance(s, ir.Return) for s in ir.walk_stmts(body)):
+            return None
+        reads: set[str] = set()
+        writes: set[str] = set()
+        local: set[str] = set()
+        exprs: list[ir.Expr] = []
+        if isinstance(st, ir.While):
+            exprs.append(st.cond)
+        else:
+            writes.add(st.var)
+        for s in ir.walk_stmts(body):
+            if isinstance(s, ir.Decl):
+                local.add(s.name)
+            elif isinstance(s, ir.Assign):
+                writes.add(s.name)
+            elif isinstance(s, ir.For):
+                local.add(s.var)
+            exprs.extend(ir.walk_exprs(s))
+        for e in exprs:
+            for node in ir.walk_exprs(e):
+                if isinstance(node, ir.Var):
+                    reads.add(node.name)
+        variant = self.variants[-1]
+        ro = list(self.lane_arrays)
+        rw = ["__ops"]
+        for name in sorted(reads | writes):
+            if name in local or name not in variant:
+                continue
+            (rw if name in writes else ro).append(self.var(name))
+        return {"ro": ro, "rw": rw}
+
+    def _compact_frame(self, plan: dict) -> dict:
+        """Allocate the runtime bookkeeping variables for one
+        compactible loop and emit their initialisation."""
+        em = self.em
+        fr = {
+            "ew": self.fresh("w"),    # entry width (scatter target)
+            "cw": self.fresh("w"),    # current width
+            "sel": self.fresh("s"),   # absolute indices, None until
+            "ck": self.fresh("k"),    # rounds since entry (check gate)
+            "cr": self.fresh("k"),    # rounds run at compacted width
+            "ro": [(n, self.fresh("s")) for n in plan["ro"]],
+            "rw": [(n, self.fresh("s")) for n in plan["rw"]],
+        }
+        em.emit(f"{fr['ew']} = {self._width()}")
+        em.emit(f"{fr['cw']} = {fr['ew']}")
+        em.emit(f"{fr['sel']} = None")
+        em.emit(f"{fr['ck']} = 0")
+        em.emit(f"{fr['cr']} = 0")
+        return fr
+
+    def _compact_check(self, fr: dict, act: str) -> None:
+        """Emit the per-round density check and compaction event.
+
+        Runs at the top of a round, before the condition/charge, so
+        everything the round touches is already at the new width.  A
+        first event snapshots each read-write value (:func:`_vsave`)
+        and records the live lanes' absolute indices; a re-compaction
+        scatters current values through the old selection before
+        composing it with the new ``flatnonzero`` (lanes that died
+        between events hold their final values in the compact arrays).
+        """
+        em = self.em
+        p = self.fresh("p")
+        em.emit(f"if __vcshould({fr['ck']}, {act}):")
+        em.indent += 1
+        em.emit("__vcstats(1, 0)")
+        em.emit(f"{p} = __np.flatnonzero({act})")
+        em.emit(f"if {fr['sel']} is None:")
+        em.indent += 1
+        for name, sv in fr["ro"]:
+            em.emit(f"{sv} = {name}")
+        for name, sv in fr["rw"]:
+            em.emit(f"{sv} = __vsave({name})")
+        em.emit(f"{fr['sel']} = {p}")
+        em.indent -= 1
+        em.emit("else:")
+        em.indent += 1
+        for name, sv in fr["rw"]:
+            em.emit(f"{sv} = __vput({sv}, {fr['sel']}, {name}, {fr['ew']})")
+        em.emit(f"{fr['sel']} = {fr['sel']}[{p}]")
+        em.indent -= 1
+        for name, sv in fr["ro"] + fr["rw"]:
+            em.emit(f"{name} = __vtake({sv}, {fr['sel']})")
+        em.emit(f"{act} = {act}[{p}]")
+        em.emit(f"{fr['cw']} = {p}.shape[0]")
+        em.indent -= 1
+        em.emit(f"{fr['ck']} += 1")
+        em.emit(f"if {fr['sel']} is not None: {fr['cr']} += 1")
+
+    def _compact_exit(self, fr: dict) -> None:
+        """Emit the loop-exit scatter: read-write values go back
+        through the snapshot at entry width, read-only ones are
+        restored by reference (they were never written)."""
+        em = self.em
+        em.emit(f"if {fr['sel']} is not None:")
+        em.indent += 1
+        for name, sv in fr["rw"]:
+            em.emit(f"{name} = __vput({sv}, {fr['sel']}, {name}, {fr['ew']})")
+        for name, sv in fr["ro"]:
+            em.emit(f"{name} = {sv}")
+        em.emit(f"__vcstats(0, {fr['cr']})")
         em.indent -= 1
 
     def _enter_loop_body(self, body: Sequence[ir.Stmt], act: str) -> None:
@@ -992,26 +1407,40 @@ class _VecCompiler:
         act = self.fresh_mask()
         outer = self.mask
         if outer is None:
-            em.emit(f"{act} = __np.ones(__n, dtype=bool)")
+            em.emit(f"{act} = __np.ones({self._width()}, dtype=bool)")
         else:
             em.emit(f"{act} = {outer}")
         it = self.fresh("t")
         em.emit(f"{it} = 0")
+        plan = self._compaction_plan(st)
+        fr = self._compact_frame(plan) if plan is not None else None
         cost = _static_cost(st.cond) + 1
         em.emit("while True:")
         em.indent += 1
+        # Region boundary for CSE: a temp assigned in round i must not
+        # be reused in round i+1 (its deps move, and compaction may
+        # change the lane width between rounds).
+        self._cse_clear()
+        if fr is not None:
+            self._compact_check(fr, act)
+            self.widths.append(fr["cw"])
         # Every still-active lane performs the check (and pays for it,
         # including the final failing one — exactly the scalar charge).
         em.emit(f"__ops += {act} * {cost}")
         self.masks.append(act)
         cond = self.expr(st.cond)
         self.masks.pop()
-        em.emit(f"{act} = {act} & __vmask({cond}, __n)")
+        em.emit(f"{act} = {act} & __vmask({cond}, {self._width()})")
         em.emit(f"if not {act}.any(): break")
         em.emit(f"{it} += 1")
         em.emit(f"if {it} > __CAP: raise __vcaperr()")
         self._enter_loop_body(st.body, act)
+        if fr is not None:
+            self.widths.pop()
         em.indent -= 1
+        if fr is not None:
+            self._compact_exit(fr)
+        self._cse_clear()
 
     def _masked_for_stmt(self, st: ir.For) -> None:
         em = self.em
@@ -1030,25 +1459,41 @@ class _VecCompiler:
             in_range = (
                 f"__vsel({step_v} > 0, {var} < {stop_v}, {var} > {stop_v})"
             )
+        plan = self._compaction_plan(st)
+        fr = None
+        if plan is not None:
+            # The bound/step temps are loop-carried per-lane state too
+            # (never reassigned, so restore-by-reference suffices).
+            plan["ro"] = plan["ro"] + [stop_v, step_v]
+            fr = self._compact_frame(plan)
         act = self.fresh_mask()
         outer = self.mask
         if outer is None:
-            em.emit(f"{act} = __vmask({in_range}, __n)")
+            em.emit(f"{act} = __vmask({in_range}, {self._width()})")
         else:
-            em.emit(f"{act} = {outer} & __vmask({in_range}, __n)")
+            em.emit(f"{act} = {outer} & __vmask({in_range}, {self._width()})")
         it = self.fresh("t")
         em.emit(f"{it} = 0")
         em.emit(f"while {act}.any():")
         em.indent += 1
+        self._cse_clear()
+        if fr is not None:
+            self._compact_check(fr, act)
+            self.widths.append(fr["cw"])
         # The scalar range loop charges +2 per entered iteration; the
         # failing range check is free.
         em.emit(f"__ops += {act} * 2")
         self._enter_loop_body(st.body, act)
         em.emit(f"{var} = {var} + {step_v}")
-        em.emit(f"{act} = {act} & __vmask({in_range}, __n)")
+        em.emit(f"{act} = {act} & __vmask({in_range}, {self._width()})")
+        if fr is not None:
+            self.widths.pop()
         em.emit(f"{it} += 1")
         em.emit(f"if {it} > __CAP: raise __vcaperr()")
         em.indent -= 1
+        if fr is not None:
+            self._compact_exit(fr)
+        self._cse_clear()
 
     def _uniform_while_stmt(self, st: ir.While) -> None:
         """A ``while`` whose condition is item-invariant and whose body
@@ -1058,10 +1503,15 @@ class _VecCompiler:
         cost = _static_cost(st.cond) + 1
         em.emit("while True:")
         em.indent += 1
+        # Same staleness/zero-trip reasoning as _uniform_for_stmt (the
+        # condition always runs once, but reuse across the back edge
+        # would read values from the previous iteration).
+        self._cse_clear()
         self.add_ops(cost)
         em.emit(f"if not ({self.expr(st.cond)}): break")
         self.block(st.body)
         em.indent -= 1
+        self._cse_clear()
 
 
 def _vint(x: Any):
@@ -1119,6 +1569,15 @@ def _gen_vec_kernel(
         )
     em.emit("__ops = __np.zeros(__n, dtype=__np.int64)")
     comp = _VecCompiler(module, fn, em, _variant_vars(module, fn))
+    for d in sorted(id_used):
+        comp.lane_arrays.append(f"__g{d}")
+    for name, d in sorted(used):
+        if name == "get_local_id":
+            comp.lane_arrays.append(f"__l{d}")
+        elif name == "get_group_id":
+            comp.lane_arrays.append(f"__grp{d}")
+    if has_locals:
+        comp.lane_arrays.append("__grow")
     if any(isinstance(s, ir.Return) for s in ir.walk_stmts(fn.body)):
         # Early return subtracts lanes from this kernel-wide live mask.
         em.emit("__live = __np.ones(__n, dtype=bool)")
@@ -1202,6 +1661,7 @@ class VecKernel:
         run_fn: Any,
         group_major: bool = False,
         has_masked_loops: bool = False,
+        cse_hits: int = 0,
     ) -> None:
         self.fn = fn
         self.name = fn.name
@@ -1213,6 +1673,9 @@ class VecKernel:
         #: True when the kernel contains loops whose runtime iteration
         #: count is lane-dependent (the :data:`LOOP_ITER_CAP` can fire)
         self.has_masked_loops = has_masked_loops
+        #: static count of subexpression re-evaluations eliminated at
+        #: codegen (reported per dispatch as ``dispatch.cse.hits``)
+        self.cse_hits = cse_hits
 
     def run_group_warps(
         self,
@@ -1269,6 +1732,7 @@ def vectorize_kernel_info(
             namespace[f"__vec_{fn.name}"],
             group_major=ir.has_barrier(fn) or bool(_local_decls(fn)),
             has_masked_loops=comp.has_masked_loops,
+            cse_hits=comp.cse_hits,
         )
         return vk, None
     except Exception:

@@ -33,6 +33,23 @@ diagnosable instead of silent.  Kernels with masked loops carry a
 runtime iteration cap; hitting it restores the pre-dispatch buffer
 contents and re-runs on the scalar warp-fold (counted as ``iter-cap``).
 
+The vectorised tier's two loop optimisations are observable here too:
+
+* ``dispatch.compact`` / ``dispatch.compact.rounds`` — how many times a
+  masked loop compressed itself to its active lanes, and how many loop
+  rounds then ran at compacted width (see *Active-lane compaction* in
+  :mod:`repro.kir.npcodegen`).  Counted even when the dispatch later
+  hits the iteration cap — the events happened.
+* ``dispatch.cse.hits`` — codegen-time common-subexpression hits baked
+  into the kernel that actually ran (e.g. mandelbrot's ``x*x + y*y``
+  escape test shared between loop condition and body), counted per
+  successful vectorised dispatch.
+
+:func:`configure` surfaces the compaction policy knobs
+(``compact_density``, ``compact_check_every``) without importing the
+codegen module; settings apply to already-compiled kernels because the
+generated code reads them at run time.
+
 The module also houses the **multi-device split** machinery
 (:func:`split_share_counts`, :func:`multi_device_kernel_ns`) used by
 :meth:`repro.opencl.context.Context.enqueue_nd_range`: one NDRange is
@@ -73,6 +90,42 @@ def use_legacy() -> bool:
     return _legacy
 
 
+def configure(
+    *,
+    compact_density: Optional[float] = None,
+    compact_check_every: Optional[int] = None,
+) -> dict:
+    """Adjust the vectorised tier's lane-compaction policy.
+
+    ``compact_density`` is the live-lane fraction below which a masked
+    loop gathers itself to its active lanes (``0.0`` disables
+    compaction entirely, ``1.0`` compacts as soon as any lane exits);
+    ``compact_check_every`` is how many loop rounds pass between density
+    checks.  Both apply immediately to already-compiled kernels (the
+    generated code reads them at run time), and outputs plus priced
+    ledger totals are identical for every setting — only host wall-clock
+    changes.  Returns the current settings as a dict.
+    """
+    if compact_density is not None:
+        density = float(compact_density)
+        if not 0.0 <= density <= 1.0:
+            raise CLInvalidValue(
+                f"compact_density must be in [0.0, 1.0], got {compact_density!r}"
+            )
+        _npc.COMPACT_DENSITY = density
+    if compact_check_every is not None:
+        every = int(compact_check_every)
+        if every < 1:
+            raise CLInvalidValue(
+                f"compact_check_every must be >= 1, got {compact_check_every!r}"
+            )
+        _npc.COMPACT_CHECK_EVERY = every
+    return {
+        "compact_density": _npc.COMPACT_DENSITY,
+        "compact_check_every": _npc.COMPACT_CHECK_EVERY,
+    }
+
+
 def _listify(raw_args: Sequence) -> list:
     return [a.data if isinstance(a, Buffer) else a for a in raw_args]
 
@@ -83,6 +136,28 @@ def _count_fallback(reason: str) -> None:
     if tracer is not None and tracer.enabled:
         tracer.count("dispatch.fallback", 1)
         tracer.count(f"dispatch.fallback.{reason}", 1)
+
+
+def _count_compaction(before: tuple) -> None:
+    """Record lane-compaction activity since the *before* snapshot
+    (:func:`repro.kir.npcodegen.thread_compact_stats`) on the tracer."""
+    tracer = current_tracer()
+    if tracer is None or not tracer.enabled:
+        return
+    events, rounds = _npc.thread_compact_stats()
+    if events > before[0]:
+        tracer.count("dispatch.compact", events - before[0])
+    if rounds > before[1]:
+        tracer.count("dispatch.compact.rounds", rounds - before[1])
+
+
+def _count_cse_hits(hits: int) -> None:
+    """Record the kernel's codegen-time CSE hits for this dispatch."""
+    if hits <= 0:
+        return
+    tracer = current_tracer()
+    if tracer is not None and tracer.enabled:
+        tracer.count("dispatch.cse.hits", hits)
 
 
 def _fallback_reason(runner: "kir.KernelRunner", nitems: int) -> str:
@@ -147,13 +222,17 @@ def dispatch_kernel_ns(
             arg = raw_args[i]
             if isinstance(arg, Buffer):
                 snaps.append((arg, arg.np_view().copy()))
+    compact_before = _npc.thread_compact_stats()
     try:
         try:
             group_warps = runner.vec.run_group_warps(
                 np_args, gsz, lsz, spec.simd_width
             )
         finally:
-            # Even a faulting kernel may have partially stored.
+            # Even a faulting kernel may have partially stored.  Count
+            # compaction activity here too: events that happened before
+            # an iteration-cap abort are still real work.
+            _count_compaction(compact_before)
             for i in runner.written_param_indices:
                 arg = raw_args[i]
                 if isinstance(arg, Buffer):
@@ -164,6 +243,7 @@ def dispatch_kernel_ns(
             arg.mark_np_written()
         _count_fallback("iter-cap")
         return _scalar_kernel_ns(runner, spec, raw_args, gsz, lsz)
+    _count_cse_hits(runner.vec.cse_hits)
     return spec.kernel_ns_from_group_warps(group_warps)
 
 

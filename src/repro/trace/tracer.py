@@ -287,7 +287,10 @@ class Tracer:
         With ``with_counters=True`` a ``"counters"`` key is added
         holding the run's scheduler and cache statistics — the
         ``kcache.*`` kernel-cache events, ``queue.*`` out-of-order
-        scheduling gains, and ``dispatch.*`` multi-device split events —
+        scheduling gains, and ``dispatch.*`` execution-tier events
+        (multi-device splits, ``dispatch.fallback.<reason>`` demotions,
+        ``dispatch.compact``/``dispatch.compact.rounds`` lane
+        compaction, ``dispatch.cse.hits`` common-subexpression reuse) —
         so per-run behaviour is reportable next to the cost segments
         without disturbing the four-key shape existing consumers
         pattern-match on.

@@ -380,3 +380,135 @@ class TestLedgerTotals:
                 dispatch.set_legacy_execution(False)
         assert totals[0] == totals[1]
         assert contents[0] == contents[1]
+
+
+# -- PR 7: active-lane compaction and loop-body CSE -------------------------
+
+import contextlib
+
+from repro.apps.mandelbrot import sources as mandelbrot_sources
+from repro.errors import CLInvalidValue
+
+
+@contextlib.contextmanager
+def compaction(density, every=1):
+    """Force the compaction policy for one test, restoring defaults."""
+    saved = dispatch.configure()
+    dispatch.configure(compact_density=density, compact_check_every=every)
+    try:
+        yield
+    finally:
+        dispatch.configure(**saved)
+
+
+DIVERGENT_CASES = [
+    (ESCAPE_LOOP, "escape", [60], [[0] * 64], [64], [8]),
+    (BREAK_CONTINUE, "bc", [24], [[0] * 64], [64], [8]),
+    (NESTED_MASKS, "nested", [9], [[0] * 64], [64], [8]),
+    (EARLY_RETURN, "early", [20], [[0] * 64], [64], [8]),
+    (HELPER_IN_LOOP_COND, "strider", [21], [[0] * 64], [64], [8]),
+]
+
+
+class TestCompaction:
+    """Lane compaction changes wall-clock only: outputs, warp maxima and
+    priced totals are bit-identical at every density setting."""
+
+    @pytest.mark.parametrize("case", range(len(DIVERGENT_CASES)))
+    @pytest.mark.parametrize("density,every", [(1.0, 1), (1.0, 3), (0.0, 1)])
+    def test_divergent_kernels_agree_at_any_density(self, case, density,
+                                                    every):
+        source, name, scalars, arrays, gsz, lsz = DIVERGENT_CASES[case]
+        with compaction(density, every):
+            run_tiers(source, name, scalars,
+                      [list(a) for a in arrays], gsz, lsz)
+
+    def test_compaction_counters_on_mandelbrot(self):
+        """A deep escape loop compacts mid-flight and the dispatch layer
+        reports it (`dispatch.compact` / `dispatch.compact.rounds`)."""
+        with compaction(0.5, 8), tracing() as tr:
+            out = _run_mandelbrot_dispatch(w=64, h=8, max_iter=400)
+        counters = tr.counters()
+        assert counters.get("dispatch.compact", 0) >= 1
+        assert counters.get("dispatch.compact.rounds", 0) >= 1
+        with compaction(0.0), tracing() as tr:
+            out_off = _run_mandelbrot_dispatch(w=64, h=8, max_iter=400)
+        assert "dispatch.compact" not in tr.counters()
+        assert out == out_off
+
+    def test_configure_validates(self):
+        with pytest.raises(CLInvalidValue):
+            dispatch.configure(compact_density=1.5)
+        with pytest.raises(CLInvalidValue):
+            dispatch.configure(compact_density=-0.1)
+        with pytest.raises(CLInvalidValue):
+            dispatch.configure(compact_check_every=0)
+
+    def test_configure_applies_to_compiled_kernels(self):
+        """The kcache may hand back an already-compiled kernel; the
+        policy is read at run time so configure() still bites."""
+        compiled = kernelc.build(ESCAPE_LOOP)
+        runner = compiled.kernel_runner("escape")
+        np = _np()
+        with compaction(1.0, 1):
+            before = npcodegen.thread_compact_stats()
+            runner.vec.run_group_warps(
+                [np.zeros(64, np.int64), 60], [64], [8], SIMD
+            )
+            events_on = npcodegen.thread_compact_stats()[0] - before[0]
+        with compaction(0.0):
+            before = npcodegen.thread_compact_stats()
+            runner.vec.run_group_warps(
+                [np.zeros(64, np.int64), 60], [64], [8], SIMD
+            )
+            events_off = npcodegen.thread_compact_stats()[0] - before[0]
+        assert events_on >= 1
+        assert events_off == 0
+
+
+def _run_mandelbrot_dispatch(w, h, max_iter):
+    """Run the real mandelbrot kernel through the full dispatch path
+    (Context/Queue/Program) and return the iteration counts."""
+    device = find_device("GPU")
+    ctx = Context([device])
+    queue = CommandQueue(ctx, device)
+    program = Program(ctx, mandelbrot_sources.KERNEL_SOURCE).build()
+    kernel = program.create_kernel("mandelbrot")
+    buf = Buffer(ctx, w * h, "int")
+    kernel.set_arg(0, buf)
+    kernel.set_arg(1, w)
+    kernel.set_arg(2, h)
+    kernel.set_arg(3, max_iter)
+    queue.enqueue_nd_range_kernel(kernel, [w, h], [8, 1])
+    queue.finish()
+    return list(buf.data)
+
+
+class TestLoopBodyCSE:
+    """A loop condition's subexpressions are reused inside its body."""
+
+    def test_escape_cond_reused_in_body(self):
+        """`x * x` appears in the ESCAPE_LOOP condition and body; the
+        codegen computes it once per round."""
+        compiled = kernelc.build(ESCAPE_LOOP)
+        runner = compiled.kernel_runner("escape")
+        assert runner.vec is not None
+        assert runner.vec.cse_hits >= 1
+
+    def test_mandelbrot_escape_test_hits_cache(self):
+        """The paper's mandelbrot kernel computes `x*x` and `y*y` in the
+        escape test and again in the body — both must hit the cache, and
+        the dispatch layer must report it."""
+        compiled = kernelc.build(mandelbrot_sources.KERNEL_SOURCE)
+        runner = compiled.kernel_runner("mandelbrot")
+        assert runner.vec is not None
+        assert runner.vec.cse_hits >= 2
+        with tracing() as tr:
+            vec_out = _run_mandelbrot_dispatch(w=64, h=8, max_iter=60)
+        assert tr.counters().get("dispatch.cse.hits", 0) > 0
+        dispatch.set_legacy_execution(True)
+        try:
+            legacy_out = _run_mandelbrot_dispatch(w=64, h=8, max_iter=60)
+        finally:
+            dispatch.set_legacy_execution(False)
+        assert vec_out == legacy_out

@@ -125,3 +125,29 @@ class TestIterationCap:
             out = _run(CAPPED_LOOP, "accum")
         assert out == [i % 7 + 5 for i in range(512)]
         assert tr.counter("dispatch.fallback") == 0
+
+    def test_cap_under_compaction_restores_and_falls_back(self, monkeypatch):
+        """A runaway loop that compacts mid-flight must still restore
+        buffers exactly on the cap abort and rerun on the warp-fold.
+
+        Trip counts diverge per lane (`i % 7 + 5` rounds), so with
+        compaction forced on the loop gathers to its active subset after
+        the fastest lanes exit — and *then* hits the monkeypatched cap.
+        The scatter/restore path must unwind both the compaction frame
+        and the partial stores.
+        """
+        kcache.clear()  # force a rebuild under the tiny cap
+        monkeypatch.setattr(npcodegen, "LOOP_ITER_CAP", 7)
+        saved = dispatch.configure()
+        dispatch.configure(compact_density=1.0, compact_check_every=1)
+        try:
+            with tracing() as tr:
+                out = _run(CAPPED_LOOP, "accum", init=3)
+        finally:
+            dispatch.configure(**saved)
+        # Scalar rerun from the restored (all-threes) buffer: exact sums.
+        assert out == [3 + i % 7 + 5 for i in range(512)]
+        assert tr.counter("dispatch.fallback") == 1
+        assert tr.counter("dispatch.fallback.iter-cap") == 1
+        # The compaction events before the abort are still reported.
+        assert tr.counter("dispatch.compact") >= 1
