@@ -18,8 +18,15 @@ from typing import Any, Optional, Sequence
 
 from ..runtime.mov import Movable, is_movable, mov  # noqa: F401
 from ..runtime.residency import ManagedArray  # noqa: F401
-from .actor import Actor, Stage, StopBehaviour  # noqa: F401
+from .actor import (  # noqa: F401
+    Actor,
+    ActorFailure,
+    RestartPolicy,
+    Stage,
+    StopBehaviour,
+)
 from .channel import (  # noqa: F401
+    DeadLetter,
     InPort,
     OutPort,
     channel,

@@ -27,17 +27,59 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 import traceback
-from typing import Optional
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
 
 from ..errors import ActorError, ChannelClosed, RuntimeFault
 from ..trace import current_tracer, thread_track
-from .channel import InPort, OutPort, connect  # noqa: F401 (re-export)
+from .channel import DeadLetter, InPort, OutPort, connect  # noqa: F401
+from ..errors import CLInvalidValue
 
 _actor_ids = itertools.count(1)
 
 #: How long Stage.join waits before declaring the application hung.
 DEFAULT_JOIN_TIMEOUT = 60.0
+
+
+@dataclass(frozen=True)
+class RestartPolicy:
+    """Supervision: restart a crashed actor's behaviour loop in place.
+
+    A crashed actor (behaviour raised something other than
+    :class:`StopBehaviour` / :class:`~repro.errors.ChannelClosed`) is
+    restarted on its own thread with its ports still wired, up to
+    ``max_restarts`` times, sleeping ``backoff_s * restart_number``
+    wall-clock seconds before each attempt.  Exhausting the budget makes
+    the failure fatal: ports close and the stage records the error.
+    """
+
+    max_restarts: int = 3
+    backoff_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_restarts < 0:
+            raise CLInvalidValue("max_restarts must be >= 0")
+        if self.backoff_s < 0:
+            raise CLInvalidValue("backoff_s must be >= 0")
+
+
+@dataclass
+class ActorFailure:
+    """One crash notice delivered to a stage's supervisor.
+
+    ``fatal`` distinguishes a crash absorbed by a restart (the actor is
+    running again) from one that exhausted its restart budget (the
+    actor is gone).  Travels by reference over supervisor channels.
+    """
+
+    __by_reference__ = True
+
+    actor_name: str
+    error: BaseException
+    restarts: int
+    fatal: bool
 
 
 class StopBehaviour(Exception):
@@ -99,6 +141,13 @@ class Actor:
     # -- internals ---------------------------------------------------------
 
     def _run(self) -> Optional[BaseException]:
+        """One life of the behaviour loop; returns the crash, if any.
+
+        Deliberately does *not* close ports or mark the actor stopped —
+        that is :meth:`_finalize`, which the stage calls only when the
+        actor will not be restarted (supervision keeps channels wired
+        across restarts).
+        """
         error: Optional[BaseException] = None
         iteration = 0
         try:
@@ -122,10 +171,12 @@ class Actor:
             pass
         except BaseException as exc:  # noqa: BLE001 - reported via stage
             error = exc
-        finally:
-            self._close_ports()
-            self._stopped.set()
         return error
+
+    def _finalize(self) -> None:
+        """Close the ports and mark the actor stopped (end of last life)."""
+        self._close_ports()
+        self._stopped.set()
 
     def _close_ports(self) -> None:
         for value in vars(self).values():
@@ -155,21 +206,44 @@ class Stage:
         stage.run()
     """
 
-    def __init__(self, name: str = "home") -> None:
+    def __init__(
+        self,
+        name: str = "home",
+        supervisor: Union[InPort, Callable[[ActorFailure], None], None] = None,
+    ) -> None:
         self.name = name
         self.actors: list[Actor] = []
+        #: Crash notices (:class:`ActorFailure`), fatal and absorbed alike.
+        self.supervised_failures: list[ActorFailure] = []
+        #: Messages that could not be delivered (see channel.DeadLetter).
+        self.dead_letters: list[DeadLetter] = []
+        #: Where fatal/absorbed crash notices go: an :class:`InPort`
+        #: (supervision as a message stream) or a plain callable.  With a
+        #: supervisor installed, a fatal crash is *handled* — join() does
+        #: not re-raise it; without one it propagates as before.
+        self.supervisor = supervisor
         self._threads: dict[int, threading.Thread] = {}
         self._errors: list[tuple[Actor, BaseException]] = []
+        self._policies: dict[int, RestartPolicy] = {}
         self._started = False
 
-    def spawn(self, actor: Actor) -> Actor:
-        """Register *actor* on this stage (threads start at :meth:`start`)."""
+    def spawn(
+        self, actor: Actor, policy: Optional[RestartPolicy] = None
+    ) -> Actor:
+        """Register *actor* on this stage (threads start at :meth:`start`).
+
+        An optional :class:`RestartPolicy` puts the actor under
+        supervision: crashes restart the behaviour loop in place instead
+        of killing the thread.
+        """
         if self._started:
             raise RuntimeFault("cannot spawn after the stage has started")
         if actor.stage is not None:
             raise RuntimeFault(f"{actor.name} already belongs to a stage")
         actor.stage = self
         self.actors.append(actor)
+        if policy is not None:
+            self._policies[actor.actor_id] = policy
         return actor
 
     def start(self) -> None:
@@ -188,9 +262,55 @@ class Stage:
             thread.start()
 
     def _actor_main(self, actor: Actor) -> None:
-        error = actor._run()
-        if error is not None:
-            self._errors.append((actor, error))
+        policy = self._policies.get(actor.actor_id)
+        restarts = 0
+        while True:
+            error = actor._run()
+            if error is None:
+                actor._finalize()
+                return
+            tracer = current_tracer()
+            if tracer.enabled:
+                tracer.count("actor.failure")
+            if policy is not None and restarts < policy.max_restarts:
+                restarts += 1
+                if tracer.enabled:
+                    tracer.count("actor.restart")
+                self._notify_supervisor(
+                    ActorFailure(actor.name, error, restarts, fatal=False)
+                )
+                if policy.backoff_s > 0.0:
+                    time.sleep(policy.backoff_s * restarts)
+                continue
+            actor._finalize()
+            notice = ActorFailure(actor.name, error, restarts, fatal=True)
+            delivered = self._notify_supervisor(notice)
+            if not delivered:
+                # No supervisor: the crash propagates through join(), as
+                # it always did — never a silent thread death.
+                self._errors.append((actor, error))
+            return
+
+    def _notify_supervisor(self, notice: ActorFailure) -> bool:
+        """Record *notice*; deliver it to the supervisor if one is set.
+
+        Returns whether a supervisor took responsibility for it.  A
+        supervisor that is itself gone (closed port, raising callable)
+        does not take responsibility — the failure falls back to
+        :meth:`join` propagation.
+        """
+        self.supervised_failures.append(notice)
+        target = self.supervisor
+        if target is None:
+            return False
+        try:
+            if isinstance(target, InPort):
+                target._put(notice, timeout=1.0)
+            else:
+                target(notice)
+        except BaseException:  # noqa: BLE001 - supervisor itself is gone
+            return False
+        return True
 
     def join(self, timeout: float = DEFAULT_JOIN_TIMEOUT) -> None:
         """Wait for every actor to stop; re-raise the first actor error."""

@@ -19,6 +19,7 @@ from __future__ import annotations
 import itertools
 import threading
 from collections import deque
+from dataclasses import dataclass
 from typing import Any, Optional
 
 from ..errors import ChannelClosed, ChannelError
@@ -26,6 +27,20 @@ from ..runtime.mov import Movable, copy_message, is_movable
 from ..trace import current_tracer, thread_track
 
 _port_ids = itertools.count(1)
+
+
+@dataclass
+class DeadLetter:
+    """A message that could not be delivered (port closed, rendezvous
+    abandoned).  Captured on the owning actor's stage (``Stage.dead_letters``)
+    so supervision code can inspect what was lost — see docs/RELIABILITY.md.
+    """
+
+    __by_reference__ = True
+
+    port: "InPort"
+    item: Any
+    reason: str
 
 #: Sentinel meaning "no timeout" for blocking channel operations.
 FOREVER: Optional[float] = None
@@ -73,6 +88,25 @@ class InPort:
         # rendezvous sends skip their Event round trip (see _put).
         self._recv_waiting = 0
 
+    def _describe(self) -> str:
+        """Identify this port in error messages: name, owner, depth."""
+        owner = getattr(self.owner, "name", None) or "unowned"
+        capacity = self.capacity if self.capacity else "rendezvous"
+        return (
+            f"{self.name}#{self.id} (owner={owner}, "
+            f"queued={len(self._items)}, capacity={capacity})"
+        )
+
+    def _dead_letter(self, item: Any, reason: str) -> None:
+        """Record an undeliverable message on the owner's stage."""
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.count("actor.dead_letter")
+        stage = getattr(self.owner, "stage", None)
+        letters = getattr(stage, "dead_letters", None)
+        if letters is not None:
+            letters.append(DeadLetter(self, item, reason))
+
     # -- wiring ------------------------------------------------------------
 
     def _attach(self) -> None:
@@ -101,15 +135,22 @@ class InPort:
             )
         with self._lock:
             if self._closed:
-                raise ChannelError(f"{self.name}: send to a closed port")
+                self._dead_letter(item, "closed")
+                raise ChannelError(
+                    f"send to closed port {self._describe()}"
+                )
             if self.capacity:
                 while len(self._items) >= self.capacity:
                     if not self._nonfull.wait(timeout):
                         raise ChannelError(
-                            f"{self.name}: send timed out (buffer full)"
+                            f"send to {self._describe()} timed out "
+                            "(buffer full)"
                         )
                     if self._closed:
-                        raise ChannelError(f"{self.name}: port closed")
+                        self._dead_letter(item, "closed")
+                        raise ChannelError(
+                            f"send to closed port {self._describe()}"
+                        )
                 self._items.append((item, None))
                 self._nonempty.notify()
                 return
@@ -126,7 +167,21 @@ class InPort:
             self._items.append((item, consumed))
             self._nonempty.notify()
         if not consumed.wait(timeout):
-            raise ChannelError(f"{self.name}: rendezvous send timed out")
+            # Withdraw the offer so a later receiver cannot consume a
+            # message whose sender already gave up.  If the receiver
+            # took it in the race with this timeout, the send succeeded.
+            with self._lock:
+                withdrawn = False
+                for i, (_, event) in enumerate(self._items):
+                    if event is consumed:
+                        del self._items[i]
+                        withdrawn = True
+                        break
+                if not withdrawn:
+                    return
+                self._dead_letter(item, "rendezvous-timeout")
+                detail = self._describe()
+            raise ChannelError(f"rendezvous send to {detail} timed out")
 
     def receive(self, timeout: Optional[float] = FOREVER) -> Any:
         """Take the next message, blocking until one arrives.
@@ -168,7 +223,7 @@ class InPort:
                     # be plumbed at runtime (paper Section 6.1.1).
                     if not self._nonempty.wait(timeout):
                         raise ChannelError(
-                            f"{self.name}: receive timed out"
+                            f"receive on {self._describe()} timed out"
                         )
             finally:
                 if parked:

@@ -20,9 +20,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence
 
-from ..errors import CLInvalidKernelArgs, RuntimeFault
+from ..errors import CLDeviceLost, CLInvalidKernelArgs, RuntimeFault
 from .. import kir
 from ..trace import current_tracer, thread_track
+from ..opencl import faults
 from ..opencl.program import Program
 from ..runtime.mov import Movable, is_movable
 from ..runtime.oclenv import OpenCLEnvironment, get_environment
@@ -125,7 +126,16 @@ class KernelActor(Actor):
         movable = is_movable(message)
         payload = message.value if movable else message
         try:
-            self._dispatch(request, payload)
+            try:
+                self._dispatch(request, payload)
+            except CLDeviceLost:
+                # The actor's device dropped off the bus: re-target a
+                # surviving device and re-issue.  Managed arrays carry
+                # their own residency, so inputs re-upload from the host
+                # copy (or drain the lost device's buffers) on the new
+                # context — outputs are identical to the fault-free run.
+                self._failover()
+                self._dispatch(request, payload)
         except Exception:
             # A failed dispatch must not leave downstream receivers
             # blocked on the reply channel.
@@ -141,6 +151,19 @@ class KernelActor(Actor):
                 if isinstance(value, ManagedArray):
                     value.sync_host()
             request.output.send(payload)
+
+    def _failover(self) -> None:
+        """Re-target the actor at a surviving device (device loss)."""
+        from ..runtime.oclenv import device_matrix
+
+        failed = self.env.device
+        self._env = device_matrix().failover_environment(failed)
+        self._program = None
+        self._fn = None
+        faults.count_failover()
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.count("actor.failover")
 
     # -- dispatch ----------------------------------------------------------
 

@@ -52,9 +52,19 @@ class MovabilityError(TypeCheckError):
 
 
 class CLError(ReproError):
-    """Base class for OpenCL substrate errors; carries a CL-style code."""
+    """Base class for OpenCL substrate errors; carries a CL-style code.
+
+    Errors raised by the deterministic fault-injection layer
+    (:mod:`repro.opencl.faults`) additionally carry the injected
+    :class:`~repro.opencl.faults.Fault` on :attr:`fault` and mark
+    themselves :attr:`transient` when a bounded retry could succeed.
+    """
 
     code = "CL_ERROR"
+    #: a retry of the same operation may succeed (fault-injection layer)
+    transient = False
+    #: the injected Fault that produced this error, or None (real error)
+    fault = None
 
     def __init__(self, message: str = "") -> None:
         super().__init__(f"{self.code}: {message}" if message else self.code)
@@ -94,6 +104,30 @@ class CLOutOfResources(CLError):
 
 class CLMemObjectReleased(CLError):
     code = "CL_INVALID_MEM_OBJECT"
+
+
+class CLDeviceLost(CLError):
+    """The device dropped off the bus (permanent until platform reset).
+
+    Raised when a fault plan injects a ``device-lost`` fault, and by any
+    later write/dispatch aimed at the lost device.  Reading resident
+    buffers back remains possible (see docs/RELIABILITY.md, "What device
+    loss means here").
+    """
+
+    code = "CL_DEVICE_NOT_AVAILABLE"
+
+
+class CLTransferFailure(CLError):
+    """A buffer transfer failed (transient or permanent, per the fault)."""
+
+    code = "CL_MEM_OBJECT_ALLOCATION_FAILURE"
+
+
+class CLOutOfHostMemory(CLError):
+    """A host-side API call failed (the injectable host-API fault)."""
+
+    code = "CL_OUT_OF_HOST_MEMORY"
 
 
 class RuntimeFault(ReproError):

@@ -11,6 +11,12 @@ Two interfaces are exposed:
 """
 
 from .context import Context, current_clock, fresh_clock  # noqa: F401
+from .faults import (  # noqa: F401
+    Fault,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+)
 from .costmodel import (  # noqa: F401
     ACCELERATOR,
     CPU,

@@ -14,8 +14,9 @@ import itertools
 import threading
 from typing import Iterator, Optional, Sequence
 
-from ..errors import CLInvalidValue
+from ..errors import CLDeviceLost, CLInvalidValue
 from ..trace import current_tracer
+from . import faults
 from .costmodel import TIMELINE_KIND_OF, CostLedger, SimClock
 from .platform import Device, Platform
 
@@ -122,12 +123,23 @@ class Context:
         charged its own slice (warp maxima folded with its SIMD width)
         plus the broadcast/gather transfer traffic of participating in
         the split.  Returns the list of per-device kernel events.
+
+        Devices lost to an earlier ``device-lost`` fault are excluded
+        up front; a loss injected *during* a multi-device dispatch
+        re-splits the lost share over the survivors (the failover path,
+        counted as ``fault.failover``) — see docs/RELIABILITY.md.
         """
         from . import dispatch
         from .memory import Buffer
 
-        queues = [self.queue_for(d, out_of_order) for d in self.devices]
-        if len(self.devices) == 1:
+        devices = [d for d in self.devices if not d.lost]
+        if not devices:
+            raise CLDeviceLost(
+                f"context {self.id}: every device was lost; cannot "
+                f"dispatch {kernel.name}"
+            )
+        queues = [self.queue_for(d, out_of_order) for d in devices]
+        if len(devices) == 1:
             return [
                 queues[0].enqueue_nd_range_kernel(
                     kernel, global_size, local_size
@@ -143,11 +155,13 @@ class Context:
             queue.check_nd_range(gsz, lsz)
 
         total_groups = gsz[-1] // lsz[-1]
-        weights = [dispatch.device_weight(d.spec) for d in self.devices]
+        weights = [dispatch.device_weight(d.spec) for d in devices]
         shares = dispatch.split_share_counts(total_groups, weights)
         participating = [
             (queue, share) for queue, share in zip(queues, shares) if share
         ]
+        if len(participating) > 1 and faults.active_plan() is not None:
+            participating = self._decide_split_faults(kernel, participating)
         if len(participating) == 1:
             return [
                 participating[0][0].enqueue_nd_range_kernel(
@@ -208,6 +222,77 @@ class Context:
             tracer.count("dispatch.split.devices", len(participating))
         return events
 
+    def _decide_split_faults(self, kernel, participating: list) -> list:
+        """Take the fault decisions for a multi-device split dispatch.
+
+        Each participating device consults the plan under the same
+        ``<kernel>@<device>`` key a solo dispatch would use.  Transient
+        faults retry in place (each aborted launch charged, backoff
+        charged as host time); a ``device-lost`` fault marks the device
+        and hands its work-group share to the survivors, re-split by
+        throughput weight (``fault.failover``).  Raises when a
+        permanent fault exhausts its retries or no device survives.
+        """
+        from . import dispatch
+
+        policy = faults.retry_policy()
+        plan = faults.active_plan()
+        survivors: list = []
+        lost_shares = 0
+        lost_count = 0
+        for queue, share in participating:
+            key = f"{kernel.name}@{queue.device.name}"
+            attempt = 1
+            lost = False
+            while True:
+                fault = plan.decide("kernel", key)
+                if fault is None:
+                    break
+                faults.count_injection(fault)
+                self.charge(
+                    "kernel",
+                    queue.device.spec.kernel_launch_ns,
+                    name="fault.kernel",
+                    track=f"device/{queue.device.name}",
+                    args={"key": key, "kind": fault.kind},
+                )
+                if fault.kind == faults.DEVICE_LOST:
+                    queue.device.mark_lost()
+                    lost = True
+                    break
+                if fault.transient and attempt < policy.max_attempts:
+                    if policy.backoff_ns > 0.0:
+                        self.charge(
+                            "host",
+                            policy.backoff_ns * attempt,
+                            name="fault.backoff",
+                        )
+                    faults.count_retry()
+                    attempt += 1
+                    continue
+                raise faults.exception_for(fault, kernel.name)
+            if lost:
+                lost_shares += share
+                lost_count += 1
+            else:
+                survivors.append((queue, share))
+        if not lost_shares:
+            return survivors
+        if not survivors:
+            raise CLDeviceLost(
+                f"every device was lost dispatching {kernel.name}"
+            )
+        extra = dispatch.split_share_counts(
+            lost_shares,
+            [dispatch.device_weight(q.device.spec) for q, _ in survivors],
+        )
+        for _ in range(lost_count):
+            faults.count_failover()
+        return [
+            (queue, share + add)
+            for (queue, share), add in zip(survivors, extra)
+        ]
+
     def charge(
         self,
         category: str,
@@ -253,7 +338,37 @@ class Context:
     def charge_api_call(
         self, device: Optional[Device] = None, name: str = "api_call"
     ) -> None:
+        """Price one host API call (and give the fault plan its shot).
+
+        An injected ``api`` fault charges the failed call, retries
+        transients per the active :class:`~repro.opencl.faults
+        .RetryPolicy`, and surfaces as :class:`~repro.errors
+        .CLOutOfHostMemory` when permanent or exhausted.
+        """
         spec = (device or self.devices[0]).spec
+        plan = faults.active_plan()
+        if plan is not None:
+            policy = faults.retry_policy()
+            attempt = 1
+            while True:
+                fault = plan.decide("api", name)
+                if fault is None:
+                    break
+                faults.count_injection(fault)
+                self.charge(
+                    "host", spec.api_call_ns, name=f"fault.{name}"
+                )
+                if fault.transient and attempt < policy.max_attempts:
+                    if policy.backoff_ns > 0.0:
+                        self.charge(
+                            "host",
+                            policy.backoff_ns * attempt,
+                            name="fault.backoff",
+                        )
+                    faults.count_retry()
+                    attempt += 1
+                    continue
+                raise faults.exception_for(fault, name)
         with self.ledger._lock:
             self.ledger.api_calls += 1
         self.charge("host", spec.api_call_ns, name=name)

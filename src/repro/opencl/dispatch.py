@@ -68,6 +68,7 @@ from ..errors import CLInvalidValue
 from .. import kir
 from ..kir import npcodegen as _npc
 from ..trace import current_tracer
+from . import faults as _faults
 from .costmodel import DeviceSpec, group_warp_costs
 from .memory import HAVE_NUMPY, Buffer
 
@@ -90,12 +91,18 @@ def use_legacy() -> bool:
     return _legacy
 
 
+_UNSET = object()
+
+
 def configure(
     *,
     compact_density: Optional[float] = None,
     compact_check_every: Optional[int] = None,
+    faults=_UNSET,
+    retry=_UNSET,
 ) -> dict:
-    """Adjust the vectorised tier's lane-compaction policy.
+    """Adjust the vectorised tier's lane-compaction policy, and install
+    or clear the runtime-wide fault plan.
 
     ``compact_density`` is the live-lane fraction below which a masked
     loop gathers itself to its active lanes (``0.0`` disables
@@ -104,7 +111,14 @@ def configure(
     checks.  Both apply immediately to already-compiled kernels (the
     generated code reads them at run time), and outputs plus priced
     ledger totals are identical for every setting — only host wall-clock
-    changes.  Returns the current settings as a dict.
+    changes.
+
+    ``faults`` installs a :class:`repro.opencl.faults.FaultPlan` (or
+    ``None`` to disable injection); ``retry`` installs a
+    :class:`repro.opencl.faults.RetryPolicy` (or ``None`` to restore
+    the default).  Omitting either leaves it unchanged.  See
+    docs/RELIABILITY.md for the full semantics.  Returns the current
+    settings as a dict.
     """
     if compact_density is not None:
         density = float(compact_density)
@@ -120,9 +134,23 @@ def configure(
                 f"compact_check_every must be >= 1, got {compact_check_every!r}"
             )
         _npc.COMPACT_CHECK_EVERY = every
+    if faults is not _UNSET:
+        if faults is not None and not isinstance(faults, _faults.FaultPlan):
+            raise CLInvalidValue(
+                f"faults must be a FaultPlan or None, got {type(faults).__name__}"
+            )
+        _faults.install(faults)
+    if retry is not _UNSET:
+        if retry is not None and not isinstance(retry, _faults.RetryPolicy):
+            raise CLInvalidValue(
+                f"retry must be a RetryPolicy or None, got {type(retry).__name__}"
+            )
+        _faults.set_retry_policy(retry or _faults.RetryPolicy())
     return {
         "compact_density": _npc.COMPACT_DENSITY,
         "compact_check_every": _npc.COMPACT_CHECK_EVERY,
+        "faults": _faults.active_plan(),
+        "retry": _faults.retry_policy(),
     }
 
 
@@ -211,6 +239,17 @@ def dispatch_kernel_ns(
     if runner.vec is None or not HAVE_NUMPY or nitems < VEC_MIN_ITEMS:
         _count_fallback(_fallback_reason(runner, nitems))
         return _scalar_kernel_ns(runner, spec, raw_args, gsz, lsz)
+    plan = _faults.active_plan()
+    if plan is not None:
+        fault = plan.decide("vec", runner.name)
+        if fault is not None:
+            # Graceful degradation: the scalar tiers produce identical
+            # outputs and identical priced nanoseconds, so a vec-tier
+            # fault never surfaces to the caller — it just demotes.
+            _faults.count_injection(fault)
+            _faults.count_failover()
+            _count_fallback("fault")
+            return _scalar_kernel_ns(runner, spec, raw_args, gsz, lsz)
     np_args = [
         a.np_view() if isinstance(a, Buffer) else a for a in raw_args
     ]

@@ -64,6 +64,12 @@ class Buffer:
         if n_elements < 0:
             raise CLInvalidValue("buffer size must be non-negative")
         self.id = next(_buffer_ids)
+        #: Creation index within the owning context.  Unlike ``id``
+        #: (process-global, monotonic), the ordinal restarts at 0 for
+        #: every context, which makes it a run-stable identity — the
+        #: fault-injection layer keys transfer decisions on it so a
+        #: replayed run reproduces the same injections (faults.py).
+        self.ordinal = len(context._buffers)
         self.context = context
         self.dtype = dtype
         self.n_elements = n_elements

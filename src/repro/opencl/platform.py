@@ -32,7 +32,21 @@ class Device:
         #: earlier than this, so an in-order queue behind a busy device
         #: shows queueing delay (START > SUBMIT) in its events.
         self.busy_until_ns = 0.0
+        #: True after an injected ``device-lost`` fault: the device
+        #: accepts no new writes or dispatches (reads of resident
+        #: buffers still drain — see docs/RELIABILITY.md).  Permanent
+        #: for the life of the Device object; tests reinstall platforms.
+        self.lost = False
         self._timeline_lock = threading.Lock()
+
+    def mark_lost(self) -> None:
+        """Drop the device off the simulated bus (fault injection)."""
+        self.lost = True
+
+    @property
+    def available(self) -> bool:
+        """Whether the device still accepts new work."""
+        return not self.lost
 
     def schedule_ns(self, submit_ns: float, duration_ns: float) -> float:
         """Reserve the device for *duration_ns* starting no earlier than

@@ -16,6 +16,7 @@ from typing import Optional, Sequence
 
 from ..errors import CLBuildProgramFailure, CLInvalidValue
 from .. import kcache, kir
+from . import faults
 from .context import Context
 from .platform import Device
 
@@ -98,6 +99,7 @@ class Program:
                     self._built[device.id] = cached
                     self.build_log = "build succeeded"
                     continue
+                self._fault_gate(device)
                 try:
                     compiled = device.compile_source(self.source)
                 except CLBuildProgramFailure as exc:
@@ -113,6 +115,50 @@ class Program:
                 self._built[device.id] = compiled
                 self.build_log = "build succeeded"
         return self
+
+    def _fault_gate(self, device: Device) -> None:
+        """Give the active fault plan its shot at this device's build.
+
+        A faulted compile is charged in full (the compiler ran and
+        failed); transients retry per the active policy and exhaustion
+        raises :class:`CLBuildProgramFailure` carrying the injected
+        fault and a synthetic build log.
+        """
+        plan = faults.active_plan()
+        if plan is None:
+            return
+        policy = faults.retry_policy()
+        attempt = 1
+        while True:
+            fault = plan.decide("build", device.name)
+            if fault is None:
+                return
+            faults.count_injection(fault)
+            self.context.charge(
+                "host",
+                device.spec.compile_ns,
+                name="fault.build",
+                args={"device": device.name, "kind": fault.kind},
+            )
+            if fault.transient and attempt < policy.max_attempts:
+                if policy.backoff_ns > 0.0:
+                    self.context.charge(
+                        "host",
+                        policy.backoff_ns * attempt,
+                        name="fault.backoff",
+                    )
+                faults.count_retry()
+                attempt += 1
+                continue
+            log = (
+                f"injected {fault.kind} build fault on {device.name} "
+                f"(occurrence {fault.occurrence})"
+            )
+            self.build_log = log
+            exc = CLBuildProgramFailure(log, build_log=log)
+            exc.fault = fault
+            exc.transient = fault.transient
+            raise exc
 
     def retain(self) -> None:
         """Increment the reference count (a shared acquirer)."""

@@ -33,11 +33,13 @@ import itertools
 from typing import Iterable, Optional, Sequence
 
 from ..errors import (
+    CLDeviceLost,
     CLInvalidContext,
     CLInvalidValue,
     CLInvalidWorkGroupSize,
 )
 from ..trace import current_tracer
+from . import faults
 from .context import Context
 from .costmodel import TIMELINE_KIND_OF
 from .dispatch import dispatch_kernel_ns
@@ -398,6 +400,62 @@ class CommandQueue:
                 f"buffer {buf.id} belongs to a different context"
             )
 
+    def _check_device_writable(self) -> None:
+        """New writes and dispatches are refused on a lost device
+        (reads of already-resident buffers still drain)."""
+        if self.device.lost:
+            raise CLDeviceLost(
+                f"device {self.device.name!r} was lost; no new work accepted"
+            )
+
+    def _fault_gate(self, op: str, key: str, attempt_ns: float) -> None:
+        """Consult the installed fault plan before a chargeable command.
+
+        Returns normally when the operation may proceed.  Each injected
+        failure charges the aborted attempt (*attempt_ns* in the op's
+        own cost category) so faulted runs price deterministically;
+        transient faults are retried up to the
+        :class:`~repro.opencl.faults.RetryPolicy` bound with simulated
+        backoff charged as host time; ``device-lost`` marks the device
+        lost; unrecoverable faults raise the matching
+        :mod:`repro.errors` subclass carrying the original fault.
+        """
+        plan = faults.active_plan()
+        if plan is None:
+            return
+        policy = faults.retry_policy()
+        category = "kernel" if op == "kernel" else op
+        attempt = 1
+        while True:
+            fault = plan.decide(op, key)
+            if fault is None:
+                return
+            faults.count_injection(fault)
+            if attempt_ns > 0.0:
+                self.context.charge(
+                    category,
+                    attempt_ns,
+                    name=f"fault.{op}",
+                    track=f"device/{self.device.name}",
+                    args={"key": key, "kind": fault.kind},
+                )
+            if fault.kind == faults.DEVICE_LOST:
+                self.device.mark_lost()
+                raise faults.exception_for(
+                    fault, f"device {self.device.name!r}"
+                )
+            if fault.transient and attempt < policy.max_attempts:
+                if policy.backoff_ns > 0.0:
+                    self.context.charge(
+                        "host",
+                        policy.backoff_ns * attempt,
+                        name="fault.backoff",
+                    )
+                faults.count_retry()
+                attempt += 1
+                continue
+            raise faults.exception_for(fault)
+
     # -- data movement ------------------------------------------------------
 
     def enqueue_write_buffer(
@@ -413,8 +471,10 @@ class CommandQueue:
                 f"write of {len(host_data)} elements into buffer "
                 f"of {buf.n_elements}"
             )
-        buf.data[:] = host_data
         ns = self.device.spec.transfer_ns(buf.nbytes, to_device=True)
+        self._check_device_writable()
+        self._fault_gate("h2d", f"buf{buf.ordinal}", ns)
+        buf.data[:] = host_data
         with self.context.ledger._lock:
             self.context.ledger.bytes_to_device += buf.nbytes
         tracer = current_tracer()
@@ -438,8 +498,9 @@ class CommandQueue:
                 f"read of buffer of {buf.n_elements} elements into host "
                 f"array of {len(host_out)}"
             )
-        host_out[:] = buf.data
         ns = self.device.spec.transfer_ns(buf.nbytes, to_device=False)
+        self._fault_gate("d2h", f"buf{buf.ordinal}", ns)
+        host_out[:] = buf.data
         with self.context.ledger._lock:
             self.context.ledger.bytes_from_device += buf.nbytes
         tracer = current_tracer()
@@ -460,6 +521,7 @@ class CommandQueue:
         charged at kernel-engine speed)."""
         self._check_buffer(src)
         self._check_buffer(dst)
+        self._check_device_writable()
         if src.n_elements != dst.n_elements or src.dtype != dst.dtype:
             raise CLInvalidValue("copy between mismatched buffers")
         dst.data[:] = src.data
@@ -513,6 +575,12 @@ class CommandQueue:
     ) -> Event:
         """Launch *kernel* over the NDRange and price the dispatch."""
         gsz, lsz = self.check_nd_range(global_size, local_size)
+        self._check_device_writable()
+        self._fault_gate(
+            "kernel",
+            f"{kernel.name}@{self.device.name}",
+            self.device.spec.kernel_launch_ns,
+        )
         entries = kernel.bound_entries(self.context)
         reads, writes = kernel.buffer_access(entries)
         ns = dispatch_kernel_ns(
@@ -546,8 +614,11 @@ class CommandQueue:
         The multi-device dispatcher executes an NDRange once, prices
         each device's slice separately, and lands each share here so the
         per-device ledgers, event timelines and hazard tables all see
-        the split parts.
+        the split parts.  Fault decisions for split shares are taken by
+        the dispatcher itself (before pricing), so this path only
+        refuses lost devices.
         """
+        self._check_device_writable()
         with self.context.ledger._lock:
             self.context.ledger.kernel_launches += 1
         return self._record(
@@ -573,7 +644,10 @@ class CommandQueue:
         """
         self._check_buffer(buf)
         to_device = category == "h2d"
+        if to_device:
+            self._check_device_writable()
         ns = self.device.spec.transfer_ns(nbytes, to_device=to_device)
+        self._fault_gate(category, f"buf{buf.ordinal}", ns)
         with self.context.ledger._lock:
             if to_device:
                 self.context.ledger.bytes_to_device += nbytes

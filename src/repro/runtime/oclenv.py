@@ -103,18 +103,65 @@ class DeviceMatrix:
                     f"{wanted} devices on {platform.name!r}"
                 )
             device = devices[device_index]
-            key = (platform_index, device.id)
-            env = self._envs.get(key)
-            if env is None:
-                context = Context([device], platform)
-                queue = CommandQueue(
-                    context, device, out_of_order=_out_of_order
+            return self._env_locked(
+                platform_index, device_index, platform, device
+            )
+
+    def _env_locked(
+        self,
+        platform_index: int,
+        device_index: int,
+        platform: Platform,
+        device: Device,
+    ) -> OpenCLEnvironment:
+        """Find or create *device*'s environment (``self._lock`` held)."""
+        key = (platform_index, device.id)
+        env = self._envs.get(key)
+        if env is None:
+            context = Context([device], platform)
+            queue = CommandQueue(
+                context, device, out_of_order=_out_of_order
+            )
+            env = OpenCLEnvironment(
+                platform_index, device_index, device, context, queue
+            )
+            self._envs[key] = env
+        return env
+
+    def failover_environment(self, failed: Device) -> OpenCLEnvironment:
+        """An environment on a surviving device after *failed* was lost.
+
+        Kernel actors call this when a dispatch raises
+        :class:`~repro.errors.CLDeviceLost`: the actor re-targets its
+        program and buffers at the returned environment and re-issues
+        the request (see docs/RELIABILITY.md).  Prefers a surviving
+        device of the same type; otherwise takes any available device.
+        Raises :class:`CLInvalidDevice` when nothing survived.
+        """
+        with self._lock:
+            platforms = self._ensure_platforms()
+            candidates: list[tuple[int, Platform, Device]] = []
+            for p_index, platform in enumerate(platforms):
+                for device in platform.devices:
+                    if device is failed or device.lost:
+                        continue
+                    candidates.append((p_index, platform, device))
+            candidates.sort(
+                key=lambda c: c[2].device_type != failed.device_type
+            )
+            if not candidates:
+                raise CLInvalidDevice(
+                    f"no surviving device to fail over to from "
+                    f"{failed.name!r}"
                 )
-                env = OpenCLEnvironment(
-                    platform_index, device_index, device, context, queue
-                )
-                self._envs[key] = env
-            return env
+            p_index, platform, device = candidates[0]
+            peers = [
+                d for d in platform.devices
+                if d.device_type == device.device_type
+            ]
+            return self._env_locked(
+                p_index, peers.index(device), platform, device
+            )
 
     def acquire_queue(self, device: Device) -> CommandQueue:
         """The one queue for *device*; creating a second is refused."""

@@ -331,7 +331,9 @@ class Tracer:
             totals["counters"] = {
                 name: value
                 for name, value in self.counters().items()
-                if name.startswith(("kcache.", "queue.", "dispatch."))
+                if name.startswith(
+                    ("kcache.", "queue.", "dispatch.", "fault.", "actor.")
+                )
             }
         if by_track:
             totals["tracks"] = tracks

@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Cross-reference lint for the documentation set.
+
+Every file the docs point at must exist.  Three reference shapes are
+checked, in ``docs/*.md`` and the top-level documents (README.md,
+DESIGN.md, EXPERIMENTS.md, ROADMAP.md, PAPER.md; CHANGES.md is an
+append-only history log and stays out of scope):
+
+* markdown links ``[text](target)`` with a relative target — resolved
+  against the referencing file's directory (anchors stripped), then
+  against the repo root;
+* path-like mentions ending in a known extension and containing a
+  ``/`` (``tests/opencl/test_faults.py``, ``docs/ARCHITECTURE.md``,
+  ``repro/opencl/costmodel.py`` — also resolved under ``src/``, the
+  import root) — glob characters allowed, a pattern must match at
+  least one file;
+* dotted module mentions (``repro.opencl.faults``) — must resolve to a
+  module or package under ``src/``.
+
+Exit status: 0 when every reference resolves, 1 with a listing of the
+dangling ones otherwise.  CI runs this next to the docstring lint so a
+renamed test file or module cannot silently orphan the documentation.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Documents whose references are checked.
+DOC_GLOBS = [
+    "docs/*.md",
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "PAPER.md",
+]
+
+MD_LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+PATH_LIKE = re.compile(
+    r"(?<![\w./-])((?:[\w*?-]+/)+[\w*?.-]+\.(?:py|md|json|txt|yml|toml))"
+)
+MODULE_LIKE = re.compile(r"(?<![\w.])(repro(?:\.\w+)+)")
+
+
+def doc_files() -> list[str]:
+    out = []
+    for pattern in DOC_GLOBS:
+        out.extend(sorted(glob.glob(os.path.join(REPO, pattern))))
+    return out
+
+
+def _exists(path: str) -> bool:
+    return bool(glob.glob(path)) if glob.has_magic(path) else os.path.exists(path)
+
+
+def _resolve_relative(base_dir: str, target: str) -> bool:
+    """A relative link resolves against its file's directory, the repo
+    root, or the ``src/`` import root (docs cite ``repro/...`` paths)."""
+    return (
+        _exists(os.path.join(base_dir, target))
+        or _exists(os.path.join(REPO, target))
+        or _exists(os.path.join(REPO, "src", target))
+    )
+
+
+def _module_exists(dotted: str) -> bool:
+    """``repro.a.b`` names src/repro/a/b.py, a package, or an attribute
+    of a module one level up (``repro.kcache.configure``)."""
+    parts = dotted.split(".")
+    for depth in (len(parts), len(parts) - 1):
+        if depth < 1:
+            continue
+        base = os.path.join(REPO, "src", *parts[:depth])
+        if os.path.exists(base + ".py") or os.path.isdir(base):
+            return True
+    return False
+
+
+def check_file(path: str) -> list[str]:
+    """Dangling references (``file:line: target``) in one document."""
+    rel = os.path.relpath(path, REPO)
+    base_dir = os.path.dirname(path)
+    offences = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            for match in MD_LINK.finditer(line):
+                target = match.group(1)
+                if "://" in target or target.startswith(("#", "mailto:")):
+                    continue
+                target = target.split("#", 1)[0]
+                if target and not _resolve_relative(base_dir, target):
+                    offences.append(f"{rel}:{lineno}: broken link {target!r}")
+            for match in PATH_LIKE.finditer(line):
+                target = match.group(1)
+                if not _resolve_relative(base_dir, target):
+                    offences.append(f"{rel}:{lineno}: missing file {target!r}")
+            for match in MODULE_LIKE.finditer(line):
+                if not _module_exists(match.group(1)):
+                    offences.append(
+                        f"{rel}:{lineno}: unknown module {match.group(1)!r}"
+                    )
+    return offences
+
+
+def main() -> int:
+    files = doc_files()
+    offences = []
+    for path in files:
+        offences.extend(check_file(path))
+    if offences:
+        print("doc-link lint failed:", file=sys.stderr)
+        for line in offences:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"doc-link lint: {len(files)} documents, all references resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

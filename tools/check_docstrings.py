@@ -1,12 +1,13 @@
 #!/usr/bin/env python
 """Docstring lint for the documented core of the reproduction.
 
-Checks that every module under ``src/repro/opencl/`` and
-``src/repro/kir/`` (plus ``src/repro/kcache.py``) carries a module
-docstring, and that each
+Checks that every module under ``src/repro/opencl/``,
+``src/repro/kir/`` and ``src/repro/actors/`` (plus
+``src/repro/kcache.py``) carries a module docstring, and that each
 top-level *public* class and function in those modules states a
-one-line contract.  CI runs this so the scheduling/dispatch layer the
-architecture document describes cannot silently lose its contracts.
+one-line contract.  CI runs this so the scheduling/dispatch/
+reliability layers the architecture and reliability documents describe
+cannot silently lose their contracts.
 
 Exit status: 0 when clean, 1 with a listing of offenders otherwise.
 """
@@ -23,6 +24,7 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 TARGETS = [
     os.path.join("src", "repro", "opencl"),
     os.path.join("src", "repro", "kir"),
+    os.path.join("src", "repro", "actors"),
     os.path.join("src", "repro", "kcache.py"),
 ]
 
