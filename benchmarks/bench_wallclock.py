@@ -26,9 +26,10 @@ by mode, so the committed file can hold both the full trajectory and
 the smoke baseline the CI gate compares against.  ``--check`` fails
 when any app's optimized time regresses more than 2x against the
 committed baseline for the same mode, or when an app with a speedup
-floor (mandelbrot, mandelbrot_deep and reduction, whose gains come
-from the vectorised loop/barrier tiers and active-lane compaction)
-drops below it.
+floor drops below it: 2x for mandelbrot, mandelbrot_deep and reduction
+(whose gains come from the vectorised loop/barrier tiers and
+active-lane compaction), and explicit per-mode floors for the
+host-overhead-bound LUD actor pipeline (see ``SPEEDUP_FLOORS``).
 """
 
 from __future__ import annotations
@@ -52,15 +53,30 @@ RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_wallclock.json"
 #: Maximum tolerated slowdown vs the committed baseline (--check).
 REGRESSION_FACTOR = 2.0
 
-#: Minimum legacy/optimized speedup per app (--check).  Mandelbrot and
-#: reduction ride the masked-loop and barrier-phase vectorised tiers;
-#: falling below 2x means those tiers stopped engaging.  The deep
-#: variant sweeps ``max_iter`` into the regime where full-width masked
-#: evaluation used to collapse — it stays above the floor only while
-#: active-lane compaction keeps per-round cost proportional to the
-#: lanes still iterating.
-SPEEDUP_FLOORS = {"mandelbrot": 2.0, "reduction": 2.0,
-                  "mandelbrot_deep": 2.0}
+#: Minimum legacy/optimized speedup per app (--check).  A plain float
+#: applies in every mode; a dict maps mode (``full`` / ``smoke``) to a
+#: per-mode floor.  Mandelbrot and reduction ride the masked-loop and
+#: barrier-phase vectorised tiers; falling below 2x means those tiers
+#: stopped engaging.  The deep variant sweeps ``max_iter`` into the
+#: regime where full-width masked evaluation used to collapse — it
+#: stays above the floor only while active-lane compaction keeps
+#: per-round cost proportional to the lanes still iterating.
+#:
+#: The LUD actor pipeline gets explicit per-mode floors below the
+#: generic 2x: its wall clock is dominated by host-side actor plumbing
+#: (thread scheduling, channel sends, the per-iteration Python control
+#: loop), so kernel execution — the only part the vectorised tier can
+#: speed up — is a minority of the measured time.  The committed full
+#: baseline sits at ~1.8x (n=256); the smoke size (n=48) spends
+#: proportionally even more of its time in the actor machinery and
+#: measures ~1.5x.  The floors assert those tiers keep engaging without
+#: demanding an Amdahl-impossible 2x.
+SPEEDUP_FLOORS = {
+    "mandelbrot": 2.0,
+    "reduction": 2.0,
+    "mandelbrot_deep": 2.0,
+    "lud_pipeline": {"full": 1.6, "smoke": 1.25},
+}
 
 def _mandelbrot_sweep(params: dict):
     """Run mandelbrot once per ``max_iter`` in the sweep and fold the
@@ -197,6 +213,10 @@ def check_regressions(results: dict, baseline: dict, mode: str) -> list[str]:
                 f"{REGRESSION_FACTOR}x baseline ({base['optimized_s']}s)"
             )
     for name, floor in SPEEDUP_FLOORS.items():
+        if isinstance(floor, dict):
+            floor = floor.get(mode)
+            if floor is None:
+                continue
         entry = results.get(name)
         if entry is not None and entry["speedup"] < floor:
             failures.append(

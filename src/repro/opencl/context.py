@@ -75,6 +75,24 @@ class Context:
         #: full compile (the clCreateProgramWithBinary model).
         self._binary_cache: dict = {}
         self._registry_lock = threading.Lock()
+        #: Generation counter for the transfer-elimination residency
+        #: markers (``Buffer._h2d_clean``).  Bumped by
+        #: :meth:`reset_ledger`, which structurally invalidates every
+        #: marker stamped in an earlier generation — a measured run must
+        #: price its own transfers.
+        self.residency_epoch = 0
+        #: Number of this context's queues currently holding a kernel
+        #: dispatch deferred by the graph-level optimiser.  Host-side
+        #: buffer observation (``Buffer.data`` / ``np_view``) checks it
+        #: and calls :meth:`flush_pending` so deferred effects are never
+        #: observable.
+        self._fusion_pending = 0
+
+    def flush_pending(self) -> None:
+        """Dispatch every kernel the graph-level optimiser is holding
+        pending on this context's queues (host observation point)."""
+        for queue in list(self._queues):
+            queue._flush_if_pending("host-observe")
 
     def program_binary(self, key: str):
         """Look up an already-built program binary by kcache fingerprint."""
@@ -184,6 +202,8 @@ class Context:
                      if isinstance(e, Buffer) and e.id in reads]
         written_bufs = [e for e in entries
                         if isinstance(e, Buffer) and e.id in writes]
+        for buf in written_bufs:
+            buf._h2d_clean = None
         total_items = 1
         for s in gsz:
             total_items *= s
@@ -388,9 +408,18 @@ class Context:
         measures that run alone.  Queue-local schedule state — and the
         ``queue.overlap_ns`` counters derived from it — is untouched;
         live queues re-anchor their composed placement lazily.
+
+        Graph-level optimiser state resets too: kernels still pending
+        on this context's queues flush into the *old* ledger (they were
+        enqueued by the run that is ending), and the residency epoch
+        advances so the transfer-elimination pass never elides a
+        transfer against a copy uploaded by a previous run.
         """
+        if self._fusion_pending:
+            self.flush_pending()
         self.clock.timeline.reset()
         self.ledger = CostLedger()
+        self.residency_epoch += 1
         with self._registry_lock:
             self._program_registry.clear()
             self._binary_cache.clear()

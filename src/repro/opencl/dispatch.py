@@ -69,6 +69,7 @@ from .. import kir
 from ..kir import npcodegen as _npc
 from ..trace import current_tracer
 from . import faults as _faults
+from . import fusion as _fusion
 from .costmodel import DeviceSpec, group_warp_costs
 from .memory import HAVE_NUMPY, Buffer
 
@@ -100,9 +101,11 @@ def configure(
     compact_check_every: Optional[int] = None,
     faults=_UNSET,
     retry=_UNSET,
+    fusion=_UNSET,
 ) -> dict:
-    """Adjust the vectorised tier's lane-compaction policy, and install
-    or clear the runtime-wide fault plan.
+    """Adjust the vectorised tier's lane-compaction policy, install or
+    clear the runtime-wide fault plan, and toggle the graph-level
+    dispatch optimiser.
 
     ``compact_density`` is the live-lane fraction below which a masked
     loop gathers itself to its active lanes (``0.0`` disables
@@ -117,8 +120,14 @@ def configure(
     ``None`` to disable injection); ``retry`` installs a
     :class:`repro.opencl.faults.RetryPolicy` (or ``None`` to restore
     the default).  Omitting either leaves it unchanged.  See
-    docs/RELIABILITY.md for the full semantics.  Returns the current
-    settings as a dict.
+    docs/RELIABILITY.md for the full semantics.
+
+    ``fusion`` enables (True) or disables (False) the graph-level
+    optimiser — producer->consumer kernel fusion plus redundant
+    host->device transfer elimination (:mod:`repro.opencl.fusion`).
+    Off by default; with it off every golden figure is byte-identical
+    to the unoptimised substrate.  See "Graph-level optimisation" in
+    docs/ARCHITECTURE.md.  Returns the current settings as a dict.
     """
     if compact_density is not None:
         density = float(compact_density)
@@ -146,11 +155,14 @@ def configure(
                 f"retry must be a RetryPolicy or None, got {type(retry).__name__}"
             )
         _faults.set_retry_policy(retry or _faults.RetryPolicy())
+    if fusion is not _UNSET:
+        _fusion.set_enabled(bool(fusion))
     return {
         "compact_density": _npc.COMPACT_DENSITY,
         "compact_check_every": _npc.COMPACT_CHECK_EVERY,
         "faults": _faults.active_plan(),
         "retry": _faults.retry_policy(),
+        "fusion": _fusion.enabled(),
     }
 
 

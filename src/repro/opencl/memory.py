@@ -78,6 +78,12 @@ class Buffer:
         self._np = None
         self._np_fresh = False
         self._list_fresh = True
+        #: Transfer-elimination marker: ``(residency_epoch, device_id)``
+        #: of the last clean transfer that certified host and device
+        #: copies equal, or None once a kernel (or device-side copy) has
+        #: written the buffer.  Maintained by the queue layer; consulted
+        #: only when the graph-level optimiser is enabled.
+        self._h2d_clean: Optional[tuple] = None
         if COPY_HOST_PTR in self.flags:
             if host_data is None:
                 raise CLInvalidValue("COPY_HOST_PTR without host data")
@@ -98,8 +104,12 @@ class Buffer:
 
         Callers may mutate the returned list in place (the substrate
         itself does), so any still-fresh NumPy mirror is conservatively
-        invalidated here.
+        invalidated here.  Observing contents is also a flush point for
+        the graph-level optimiser: a kernel deferred for fusion must
+        execute before its output can be read.
         """
+        if self.context._fusion_pending:
+            self.context.flush_pending()
         if not self._list_fresh:
             self._list[:] = self._np.tolist()
             self._list_fresh = True
@@ -108,16 +118,35 @@ class Buffer:
 
     @data.setter
     def data(self, values: list) -> None:
+        if self.context._fusion_pending:
+            self.context.flush_pending()
         self._list = values
         self._list_fresh = True
         self._np = None
         self._np_fresh = False
+
+    def contents_equal(self, values) -> bool:
+        """Whether the buffer currently holds exactly *values*.
+
+        A read-only probe for the transfer-elimination pass: unlike the
+        ``data`` property it does not invalidate the NumPy mirror, so
+        checking an upload for redundancy never deoptimises a chain of
+        vectorised dispatches.
+        """
+        if not self._list_fresh:
+            self._list[:] = self._np.tolist()
+            self._list_fresh = True
+        if len(values) != len(self._list):
+            return False
+        return list(values) == self._list
 
     def np_view(self):
         """The contents as a NumPy array (authoritative until the list
         tier is touched).  Callers that write through the view must call
         :meth:`mark_np_written`."""
         assert _np is not None
+        if self.context._fusion_pending:
+            self.context.flush_pending()
         if not self._np_fresh:
             self._np = _np.asarray(self._list, dtype=np_dtype(self.dtype))
             self._np_fresh = True

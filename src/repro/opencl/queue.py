@@ -39,7 +39,7 @@ from ..errors import (
     CLInvalidWorkGroupSize,
 )
 from ..trace import current_tracer
-from . import faults
+from . import faults, fusion
 from .context import Context
 from .costmodel import TIMELINE_KIND_OF
 from .dispatch import dispatch_kernel_ns
@@ -144,6 +144,29 @@ class Event:
         return f"<Event {self.id} {self.command} {self.duration_ns:.0f}ns>"
 
 
+class _PendingKernel:
+    """A kernel dispatch held back by the graph-level optimiser.
+
+    With ``dispatch.configure(fusion=True)`` the queue keeps the most
+    recent kernel enqueue pending until it learns whether the *next*
+    command fuses with it (:mod:`repro.opencl.fusion`).  The caller's
+    :class:`Event` exists from enqueue time and is stamped with its real
+    placement when the pending dispatch finally executes — either inside
+    a fused launch or as an ordinary flush.
+    """
+
+    __slots__ = ("kernel", "entries", "gsz", "lsz", "reads", "writes", "event")
+
+    def __init__(self, kernel, entries, gsz, lsz, reads, writes, event):
+        self.kernel = kernel
+        self.entries = entries
+        self.gsz = gsz
+        self.lsz = lsz
+        self.reads = reads
+        self.writes = writes
+        self.event = event
+
+
 class CommandQueue:
     """A command queue bound to one device of a context.
 
@@ -183,6 +206,9 @@ class CommandQueue:
         self._fence_ns = 0.0
         #: overlap already reported to the tracer counter
         self._overlap_reported = 0.0
+        #: kernel dispatch deferred by the graph-level optimiser
+        #: (always None while fusion is disabled)
+        self._pending: Optional[_PendingKernel] = None
         # -- composed (end-to-end) schedule state, shared-origin ------
         #: composed-timeline epoch the state below belongs to; when the
         #: timeline resets (Context.reset_ledger between runs) the queue
@@ -393,6 +419,126 @@ class CommandQueue:
         self.events.append(event)
         return event
 
+    def _stamp_and_charge(
+        self,
+        event: Event,
+        command: str,
+        category: str,
+        ns: float,
+        reads: Iterable[int] = (),
+        writes: Iterable[int] = (),
+        wait_for: Optional[Sequence[Event]] = None,
+        **span_args,
+    ) -> Event:
+        """Like :meth:`_record`, but for a pre-existing (deferred)
+        *event*: the command was enqueued earlier and is priced now, so
+        QUEUED keeps its original timestamp while SUBMIT is the flush
+        instant."""
+        submit = self.context.clock.now_ns
+        start = self.device.schedule_ns(submit, ns)
+        event.submit_ns = submit
+        event.start_ns = start
+        event.end_ns = start + ns
+        self._schedule(event, command, ns, reads, writes, wait_for)
+        self.context.charge(
+            category,
+            ns,
+            name=command,
+            track=f"device/{self.device.name}",
+            ts_ns=start,
+            args=dict(
+                span_args,
+                queued_ns=event.queued_ns,
+                queue_delay_ns=event.queue_delay_ns,
+            ),
+            placed=True,
+        )
+        self.events.append(event)
+        return event
+
+    def _mark_kernel_written(self, entries: Sequence, writes: Iterable[int]) -> None:
+        """A kernel stored into these buffers: their device contents no
+        longer match any host upload, so the transfer-elimination pass
+        must not elide the next write into them."""
+        written = set(writes)
+        for entry in entries:
+            if isinstance(entry, Buffer) and entry.id in written:
+                entry._h2d_clean = None
+
+    def _launch(
+        self,
+        name: str,
+        runner,
+        entries: Sequence,
+        reads: Iterable[int],
+        writes: Iterable[int],
+        gsz: Sequence[int],
+        lsz: Sequence[int],
+        wait_for: Optional[Sequence[Event]],
+        **span_args,
+    ) -> Event:
+        """Execute, price and record one kernel launch (shared tail of
+        the normal, fused and flush dispatch paths)."""
+        ns = dispatch_kernel_ns(runner, self.device.spec, entries, gsz, lsz)
+        self._mark_kernel_written(entries, writes)
+        with self.context.ledger._lock:
+            self.context.ledger.kernel_launches += 1
+        return self._record(
+            NDRANGE_KERNEL,
+            "kernel",
+            ns,
+            reads=reads,
+            writes=writes,
+            wait_for=wait_for,
+            kernel=name,
+            global_size=list(gsz),
+            local_size=list(lsz),
+            **span_args,
+        )
+
+    def _flush_if_pending(self, reason: str) -> None:
+        """Dispatch the deferred kernel, if any (no-op otherwise)."""
+        if self._pending is not None:
+            self._flush_pending(reason)
+
+    def _flush_pending(self, reason: str) -> Event:
+        """Dispatch the deferred kernel as an ordinary launch.
+
+        *reason* is the legality rule that rejected fusion or the
+        command class that forced the flush; it lands on the tracer as
+        ``dispatch.fuse.reject.<reason>`` so demotions are diagnosable.
+        The pending slot is cleared *before* executing — the dispatch
+        itself observes buffer contents, which would otherwise re-enter
+        here through the host-observation hooks.
+        """
+        pend = self._pending
+        assert pend is not None
+        self._pending = None
+        self.context._fusion_pending -= 1
+        fusion.count_reject(reason)
+        ns = dispatch_kernel_ns(
+            pend.kernel.runner(self.device),
+            self.device.spec,
+            pend.entries,
+            pend.gsz,
+            pend.lsz,
+        )
+        self._mark_kernel_written(pend.entries, pend.writes)
+        with self.context.ledger._lock:
+            self.context.ledger.kernel_launches += 1
+        return self._stamp_and_charge(
+            pend.event,
+            NDRANGE_KERNEL,
+            "kernel",
+            ns,
+            reads=pend.reads,
+            writes=pend.writes,
+            kernel=pend.kernel.name,
+            flushed=reason,
+            global_size=list(pend.gsz),
+            local_size=list(pend.lsz),
+        )
+
     def _check_buffer(self, buf: Buffer) -> None:
         buf.check_alive()
         if buf.context is not self.context:
@@ -464,17 +610,39 @@ class CommandQueue:
         host_data: Sequence,
         wait_for: Optional[Sequence[Event]] = None,
     ) -> Event:
-        """Copy *host_data* into the device buffer (host -> device)."""
+        """Copy *host_data* into the device buffer (host -> device).
+
+        With the graph-level optimiser on
+        (``dispatch.configure(fusion=True)``), a write whose target
+        buffer already holds exactly *host_data* from an earlier clean
+        transfer on this device — tracked by the buffer's residency
+        marker and confirmed by content comparison — is elided: no DMA
+        span is priced, no bytes are counted, and a zero-duration event
+        records the elision (``dispatch.xfer_elim`` counters).
+        """
         self._check_buffer(buf)
         if len(host_data) != buf.n_elements:
             raise CLInvalidValue(
                 f"write of {len(host_data)} elements into buffer "
                 f"of {buf.n_elements}"
             )
+        self._flush_if_pending("sync")
         ns = self.device.spec.transfer_ns(buf.nbytes, to_device=True)
         self._check_device_writable()
+        if (
+            fusion.enabled()
+            and buf._h2d_clean == (self.context.residency_epoch, self.device.id)
+            and buf.contents_equal(host_data)
+        ):
+            fusion.count_xfer_elim(buf.nbytes)
+            return self._record(
+                WRITE_BUFFER, "h2d", 0.0,
+                writes=(buf.id,), wait_for=wait_for, nbytes=buf.nbytes,
+                elided=True,
+            )
         self._fault_gate("h2d", f"buf{buf.ordinal}", ns)
         buf.data[:] = host_data
+        buf._h2d_clean = (self.context.residency_epoch, self.device.id)
         with self.context.ledger._lock:
             self.context.ledger.bytes_to_device += buf.nbytes
         tracer = current_tracer()
@@ -491,16 +659,23 @@ class CommandQueue:
         host_out: list,
         wait_for: Optional[Sequence[Event]] = None,
     ) -> Event:
-        """Copy the device buffer back into *host_out* (device -> host)."""
+        """Copy the device buffer back into *host_out* (device -> host).
+
+        The read certifies host and device copies equal, so it arms the
+        transfer-elimination marker: re-uploading the data unmodified
+        collapses the d2h -> h2d round trip when fusion is enabled.
+        """
         self._check_buffer(buf)
         if len(host_out) != buf.n_elements:
             raise CLInvalidValue(
                 f"read of buffer of {buf.n_elements} elements into host "
                 f"array of {len(host_out)}"
             )
+        self._flush_if_pending("host-read")
         ns = self.device.spec.transfer_ns(buf.nbytes, to_device=False)
         self._fault_gate("d2h", f"buf{buf.ordinal}", ns)
         host_out[:] = buf.data
+        buf._h2d_clean = (self.context.residency_epoch, self.device.id)
         with self.context.ledger._lock:
             self.context.ledger.bytes_from_device += buf.nbytes
         tracer = current_tracer()
@@ -521,10 +696,12 @@ class CommandQueue:
         charged at kernel-engine speed)."""
         self._check_buffer(src)
         self._check_buffer(dst)
+        self._flush_if_pending("sync")
         self._check_device_writable()
         if src.n_elements != dst.n_elements or src.dtype != dst.dtype:
             raise CLInvalidValue("copy between mismatched buffers")
         dst.data[:] = src.data
+        dst._h2d_clean = None
         ns = src.n_elements / (self.device.spec.lanes * self.device.spec.ops_per_ns)
         return self._record(
             COPY_BUFFER, "kernel", ns,
@@ -573,9 +750,20 @@ class CommandQueue:
         local_size: Optional[Sequence[int]] = None,
         wait_for: Optional[Sequence[Event]] = None,
     ) -> Event:
-        """Launch *kernel* over the NDRange and price the dispatch."""
+        """Launch *kernel* over the NDRange and price the dispatch.
+
+        With the graph-level optimiser enabled
+        (``dispatch.configure(fusion=True)``) the dispatch may be held
+        pending and later executed fused with the next kernel on this
+        queue — see :mod:`repro.opencl.fusion` and :meth:`_flush_pending`.
+        With fusion off (the default) the path below is untouched, so
+        every priced figure stays byte-identical.
+        """
         gsz, lsz = self.check_nd_range(global_size, local_size)
         self._check_device_writable()
+        if fusion.enabled():
+            return self._fusion_dispatch(kernel, gsz, lsz, wait_for)
+        self._flush_if_pending("disabled")
         self._fault_gate(
             "kernel",
             f"{kernel.name}@{self.device.name}",
@@ -583,22 +771,111 @@ class CommandQueue:
         )
         entries = kernel.bound_entries(self.context)
         reads, writes = kernel.buffer_access(entries)
-        ns = dispatch_kernel_ns(
-            kernel.runner(self.device), self.device.spec, entries, gsz, lsz
+        return self._launch(
+            kernel.name,
+            kernel.runner(self.device),
+            entries,
+            reads,
+            writes,
+            gsz,
+            lsz,
+            wait_for,
         )
-        with self.context.ledger._lock:
-            self.context.ledger.kernel_launches += 1
-        return self._record(
-            NDRANGE_KERNEL,
-            "kernel",
-            ns,
-            reads=reads,
-            writes=writes,
-            wait_for=wait_for,
-            kernel=kernel.name,
-            global_size=list(gsz),
-            local_size=list(lsz),
+
+    def _fusion_dispatch(
+        self,
+        kernel,
+        gsz: tuple[int, ...],
+        lsz: tuple[int, ...],
+        wait_for: Optional[Sequence[Event]],
+    ) -> Event:
+        """Kernel dispatch under the graph-level optimiser.
+
+        An incoming kernel first gets its chance to fuse with the
+        queue's pending dispatch; on success the pair executes as one
+        composed launch (both events stamped with the fused placement),
+        on rejection the pending kernel flushes and the incoming one
+        takes its place in the pending slot.  Dispatches carrying an
+        explicit wait list execute immediately — deferring them would
+        complicate the event-dependency bookkeeping for no measured
+        gain on the paper's pipelines.
+        """
+        try:
+            self._fault_gate(
+                "kernel",
+                f"{kernel.name}@{self.device.name}",
+                self.device.spec.kernel_launch_ns,
+            )
+        except CLDeviceLost:
+            # The pending producer was accepted before the loss; execute
+            # it so buffer contents stay consistent for the failover
+            # path (reads drain on lost devices), then surface the loss.
+            self._flush_if_pending("device-lost")
+            raise
+        entries = kernel.bound_entries(self.context)
+        reads, writes = kernel.buffer_access(entries)
+        if wait_for:
+            self._flush_if_pending("sync")
+            return self._launch(
+                kernel.name,
+                kernel.runner(self.device),
+                entries,
+                reads,
+                writes,
+                gsz,
+                lsz,
+                wait_for,
+            )
+        pend = self._pending
+        if pend is not None:
+            plan = fusion.try_fuse(
+                self.context, self.device, pend, kernel, entries, gsz, lsz
+            )
+            if isinstance(plan, fusion.FusedPlan):
+                self._pending = None
+                self.context._fusion_pending -= 1
+                fusion.count_fused()
+                event = self._launch(
+                    plan.name,
+                    plan.runner,
+                    plan.entries,
+                    plan.reads,
+                    plan.writes,
+                    gsz,
+                    lsz,
+                    None,
+                    fused=f"{pend.kernel.name}+{kernel.name}",
+                )
+                # The producer's event shares the fused placement: its
+                # work happened inside the composed launch.
+                produced = pend.event
+                for attr in (
+                    "submit_ns",
+                    "start_ns",
+                    "end_ns",
+                    "sched_start_ns",
+                    "sched_end_ns",
+                    "e2e_start_ns",
+                    "e2e_end_ns",
+                    "_e2e_epoch",
+                ):
+                    setattr(produced, attr, getattr(event, attr))
+                self.events.insert(len(self.events) - 1, produced)
+                return event
+            self._flush_pending(plan)
+        event = Event(
+            NDRANGE_KERNEL, "kernel", self.context.clock.now_ns, 0.0
         )
+        # Residency markers die at enqueue time, exactly as in the
+        # unfused world where enqueue executes immediately — a sibling
+        # queue of this context must never elide an upload against a
+        # buffer this deferred kernel is about to write.
+        self._mark_kernel_written(entries, writes)
+        self._pending = _PendingKernel(
+            kernel, entries, gsz, lsz, reads, writes, event
+        )
+        self.context._fusion_pending += 1
+        return event
 
     def enqueue_priced_kernel(
         self,
@@ -618,6 +895,7 @@ class CommandQueue:
         the dispatcher itself (before pricing), so this path only
         refuses lost devices.
         """
+        self._flush_if_pending("sync")
         self._check_device_writable()
         with self.context.ledger._lock:
             self.context.ledger.kernel_launches += 1
@@ -643,6 +921,7 @@ class CommandQueue:
         already lives in the context's (single-copy) buffer.
         """
         self._check_buffer(buf)
+        self._flush_if_pending("sync")
         to_device = category == "h2d"
         if to_device:
             self._check_device_writable()
@@ -690,6 +969,7 @@ class CommandQueue:
         wait_for: Optional[Sequence[Event]],
         fence: bool,
     ) -> Event:
+        self._flush_if_pending("sync")
         timeline = self.context.clock.timeline
         epoch = timeline.epoch
         self._e2e_anchor(epoch)
@@ -733,6 +1013,7 @@ class CommandQueue:
         queue's composed makespan, so commands enqueued afterwards —
         on *any* queue of the clock — start no earlier.
         """
+        self._flush_if_pending("sync")
         timeline = self.context.clock.timeline
         if self._e2e_epoch == timeline.epoch:
             timeline.host_wait(self._e2e_max_end)
@@ -740,10 +1021,13 @@ class CommandQueue:
             self._sync_schedule()
 
     def flush(self) -> None:
-        """Submit queued commands (immediate in simulation)."""
+        """Submit queued commands (immediate in simulation; dispatches
+        any kernel the graph-level optimiser held pending)."""
+        self._flush_if_pending("sync")
 
     def release(self) -> None:
         """Detach the queue from its context (commands stay priced)."""
+        self._flush_if_pending("sync")
         self.released = True
         try:
             self.context._queues.remove(self)

@@ -25,6 +25,7 @@ import itertools
 from typing import Any, Iterable, Optional, Sequence
 
 from ..errors import RuntimeFault
+from ..opencl import fusion
 from ..opencl.memory import Buffer
 from ..opencl.queue import CommandQueue
 from ..trace import current_tracer
@@ -164,6 +165,28 @@ class ManagedArray:
             self._release_buffer()
         if not self._host_valid:
             raise RuntimeFault("array has neither a valid host nor device copy")
+        if self._buffer is not None:
+            # A device copy kept warm across an earlier host read (the
+            # graph-level optimiser's round-trip collapse).  Reusable
+            # only in the same context at the right size; the re-upload
+            # below is elided by the queue layer when the contents are
+            # still the ones the read-back certified.
+            if (
+                not self._buffer.released
+                and self._buffer.context is queue.context
+                and self._buffer.n_elements == len(self._flat)
+            ):
+                if tracer.enabled:
+                    tracer.count("residency.warm")
+                if copy:
+                    queue.enqueue_write_buffer(self._buffer, self._flat)
+                else:
+                    self._buffer.data[:] = self._flat
+                    self._buffer._h2d_clean = None
+                self._queue = queue
+                self._device_valid = True
+                return self._buffer
+            self._release_buffer()
         buf = Buffer(queue.context, len(self._flat), self.dtype)
         if copy:
             if tracer.enabled:
@@ -189,12 +212,29 @@ class ManagedArray:
         """Materialise the host copy (reading back if required).
 
         Host access returns the device memory per the paper's protocol,
-        so ``release_device`` defaults to True.
+        so ``release_device`` defaults to True.  With the graph-level
+        optimiser enabled the device copy is kept *warm* instead of
+        freed (host stays authoritative): if the array travels back to
+        the same context unmodified, the read-back -> re-upload round
+        trip collapses — the queue layer elides the redundant h2d
+        transfer against the copy the read-back certified.  A copy on a
+        lost device is never kept (its queue cannot accept the
+        re-upload), so device-loss failover always re-prices the full
+        transfer on the surviving device.
         """
         if not self._host_valid:
             self._sync_host_from_device()
         if release_device:
-            self._release_buffer()
+            if (
+                fusion.enabled()
+                and self._buffer is not None
+                and not self._buffer.released
+                and self._queue is not None
+                and not self._queue.device.lost
+            ):
+                self._device_valid = False
+            else:
+                self._release_buffer()
 
     def _sync_host_from_device(self) -> None:
         if self._buffer is None or self._queue is None:
