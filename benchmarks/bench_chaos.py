@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Priced chaos gate: figure regeneration under injected fault plans.
+
+Regenerates every Figure 3 chart and the Figure-4 pipeline under the
+default chaos matrix (transient faults at each injection site — the
+substrate ops plus the VM/Ensemble ``native``/``vm``/``handoff`` sites
+of the chaos harness — and all three kinds at the ``vec`` site, swept
+with fusion off and on) and gates the recovery contract:
+
+* **bit-identical buffers** — every faulted regeneration reproduces the
+  fault-free result payload exactly;
+* **exact recovery pricing** — the priced delta of each cell equals the
+  summed ``fault.*`` charges, in Fraction arithmetic (the sweep raises
+  on any mispriced retry);
+* **bit-for-bit replay** — rerunning a cell under the same plan
+  reproduces its ledger exactly;
+* **full coverage** — every matrix cell actually injects at least one
+  fault at the benchmarked sizes.
+
+Every number is simulated and deterministic, so the committed
+``BENCH_chaos.json`` is machine-independent and the assertions gate CI
+without a tolerance band.
+
+Usage::
+
+    python benchmarks/bench_chaos.py           # full sizes
+    python benchmarks/bench_chaos.py --smoke   # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.harness import chaos  # noqa: E402
+from repro.opencl.faults import FaultPlan, FaultSpec  # noqa: E402
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_chaos.json"
+
+
+def bench_sweep(sizes: str) -> dict:
+    """The default-matrix sweep; the three invariants are enforced
+    inside :func:`chaos_sweep`, coverage is gated here."""
+    report = chaos.chaos_sweep(sizes=sizes)
+    silent = [cell.plan.name for cell in report.cells if not cell.injected]
+    assert not silent, f"matrix cells that never injected: {silent}"
+    return {
+        "cells": [
+            {
+                "name": cell.plan.name,
+                "target": cell.plan.target,
+                "fusion": cell.plan.fusion,
+                "injected": cell.injected,
+                "recovery_ns": round(cell.recovery_ns, 1),
+            }
+            for cell in report.cells
+        ],
+        "total_injected": report.injected,
+        "total_recovery_ns": round(
+            sum(cell.recovery_ns for cell in report.cells), 1
+        ),
+    }
+
+
+def bench_fig4_recovery(sizes: str) -> dict:
+    """The focused Figure-4 gate: the actor + flat-API pipeline pair
+    under a transient hand-off plan, priced against its clean twin."""
+    n = chaos.FIG4_N[sizes]
+    clean = chaos.run_target("fig4", sizes=sizes)
+    assert clean.fault_charges == 0, "fault-free run charged fault.* spans"
+    plan = FaultPlan([FaultSpec("handoff", kind="transient")])
+    faulted = chaos.run_target("fig4", plan=plan, sizes=sizes)
+    assert faulted.injected >= 1, "fig4 hand-off plan never injected"
+    assert faulted.result == clean.result, "faulted fig4 result diverged"
+    delta = faulted.priced - clean.priced
+    assert delta == faulted.fault_charges, (
+        f"fig4 recovery mispriced: delta {float(delta)} ns != "
+        f"fault charges {float(faulted.fault_charges)} ns"
+    )
+    return {
+        "n": n,
+        "injected": faulted.injected,
+        "clean_priced_ns": round(float(clean.priced), 1),
+        "faulted_priced_ns": round(float(faulted.priced), 1),
+        "recovery_ns": round(float(faulted.fault_charges), 1),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized problems")
+    parser.add_argument("--output", default=str(RESULTS_PATH),
+                        help="result file (default: %(default)s)")
+    args = parser.parse_args(argv)
+    mode = "smoke" if args.smoke else "full"
+
+    sweep_entry = bench_sweep(mode)
+    print(f"chaos sweep [{mode}]: {len(sweep_entry['cells'])} cells, "
+          f"{sweep_entry['total_injected']} faults injected, "
+          f"{sweep_entry['total_recovery_ns']} ns recovery priced")
+
+    fig4_entry = bench_fig4_recovery(mode)
+    print(f"fig4 n={fig4_entry['n']}: {fig4_entry['injected']} hand-off "
+          f"faults, priced {fig4_entry['clean_priced_ns']} -> "
+          f"{fig4_entry['faulted_priced_ns']} ns "
+          f"(recovery {fig4_entry['recovery_ns']} ns, delta exact)")
+
+    results = {"schema": 1, "modes": {}}
+    if Path(args.output).exists():
+        with open(args.output) as fh:
+            results = json.load(fh)
+    results.setdefault("modes", {})[mode] = {
+        "sweep": sweep_entry,
+        "fig4_recovery": fig4_entry,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+    print("chaos gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -136,6 +136,7 @@ class KernelActor(Actor):
                 # context — outputs are identical to the fault-free run.
                 self._failover()
                 self._dispatch(request, payload)
+            self._gate_handoff()
         except Exception:
             # A failed dispatch must not leave downstream receivers
             # blocked on the reply channel.
@@ -151,6 +152,30 @@ class KernelActor(Actor):
                 if isinstance(value, ManagedArray):
                     value.sync_host()
             request.output.send(payload)
+
+    def _gate_handoff(self) -> None:
+        """The stage hand-off fault site: the result forward to the
+        requester's output port.
+
+        Keyed ``<kernel>.output`` (actor ids are not run-stable; kernel
+        names are — pipelines running several actors of one kernel
+        should pin hand-off faults with explicit specs).  Each failed
+        attempt charges one wrapper call (``api_call_ns``) as
+        ``fault.ensemble.handoff`` host time on the actor's context,
+        with backoff/retry exactly as the substrate gates.
+        """
+        if faults.active_plan() is None:
+            return
+        env = self.env
+        faults.host_gate(
+            "handoff",
+            f"{self.kernel_name}.output",
+            env.device.spec.api_call_ns,
+            lambda ns, name, args: env.context.charge(
+                "host", ns, name=name, args=args
+            ),
+            span_name="fault.ensemble.handoff",
+        )
 
     def _failover(self) -> None:
         """Re-target the actor at a surviving device (device loss)."""

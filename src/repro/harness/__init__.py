@@ -11,6 +11,16 @@ from .figures import (  # noqa: F401
     figure_spec,
     scaled_devices,
 )
+from .chaos import (  # noqa: F401
+    ChaosCell,
+    ChaosPlan,
+    ChaosReport,
+    ChaosRun,
+    chaos_sweep,
+    default_matrix,
+    priced_totals,
+    run_target,
+)
 from .report import (  # noqa: F401
     render_figure,
     render_ratio_summary,

@@ -78,6 +78,10 @@ class FigureResult:
     #: restarts before each variant) plus its exact wall-time
     #: attribution (transfer / compute / api / overlap / idle)
     elapsed: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: the agreed result payload all variants produced (the build
+    #: asserts they agree) — the chaos harness compares this
+    #: bit-for-bit between fault-free and faulted regenerations
+    result: object = None
 
     def bar(self, label: str) -> Bar:
         for bar in self.bars:
@@ -186,7 +190,9 @@ def _check_trace_consistency(
 
 
 def build_figure(
-    spec: FigureSpec, trace_dir: Optional[str] = None
+    spec: FigureSpec,
+    trace_dir: Optional[str] = None,
+    tracer_sink: Optional[dict] = None,
 ) -> FigureResult:
     """Run all variants of one figure and normalise to Ensemble GPU.
 
@@ -195,6 +201,9 @@ def build_figure(
     against the ledger breakdown (the Figure 3 segments) and kept on the
     result.  With *trace_dir* set, each variant's Chrome trace JSON is
     written next to the figure data as ``fig<id>_<variant>.trace.json``.
+    With *tracer_sink* given (a dict), each variant's Tracer lands in it
+    under the variant label — the chaos harness sums exact per-span
+    charges from these.
     """
     bars: list[Bar] = []
     trace_summaries: dict[str, dict[str, float]] = {}
@@ -233,6 +242,8 @@ def build_figure(
                 continue
             raw[label] = outcome.breakdown
             results[label] = outcome.result
+            if tracer_sink is not None:
+                tracer_sink[label] = tracer
             summary = tracer.summary(with_elapsed=True)
             elapsed[label] = summary.pop("elapsed")
             _check_trace_consistency(
@@ -281,6 +292,7 @@ def build_figure(
         trace_summaries=trace_summaries,
         trace_files=trace_files,
         elapsed=elapsed,
+        result=values[0] if values else None,
     )
 
 

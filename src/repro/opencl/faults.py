@@ -9,14 +9,19 @@ supervision-style containment; see docs/RELIABILITY.md).
 
 Operations a plan can fail (the ``op`` vocabulary):
 
-========  ==========================================================
-``build``   runtime program compilation (``clBuildProgram``)
-``h2d``     host-to-device buffer writes
-``d2h``     device-to-host buffer reads
-``kernel``  NDRange kernel dispatch
-``api``     host API calls charged via ``Context.charge_api_call``
-``vec``     the vectorised execution tier (degrades to scalar tiers)
-========  ==========================================================
+===========  =======================================================
+``build``    runtime program compilation (``clBuildProgram``)
+``h2d``      host-to-device buffer writes
+``d2h``      device-to-host buffer reads
+``kernel``   NDRange kernel dispatch
+``api``      host API calls charged via ``Context.charge_api_call``
+``vec``      the vectorised execution tier (degrades to scalar tiers)
+``native``   VM ``invokenative`` host calls (``fault.vm.native``)
+``vm``       VM-driven kernel-actor dispatch (``fault.vm.dispatch``)
+``handoff``  ensemble stage hand-offs — VM channel sends and
+             :class:`~repro.actors.kernel_actor.KernelActor` result
+             forwards (``fault.ensemble.handoff``)
+===========  =======================================================
 
 Fault kinds map to :mod:`repro.errors` subclasses: ``transient``
 (recoverable by retry), ``permanent`` (every attempt fails) and
@@ -41,9 +46,13 @@ name-based kernel/build/api keys instead).
 
 The failed attempts and the simulated backoff between retries are
 charged to the cost model (``fault.<op>`` / ``fault.backoff`` charge
-names), so priced totals of a faulted run are reproducible bit-for-bit
-under a fixed seed.  With no plan installed every gate is a single
-``None`` check — golden figures are byte-identical.
+names on the substrate; ``fault.vm.native`` / ``fault.vm.dispatch`` /
+``fault.ensemble.handoff`` on the VM/Ensemble path — every fault
+charge keeps the ``fault.`` span-name prefix, which is what the chaos
+harness's recovery-cost oracle keys on), so priced totals of a faulted
+run are reproducible bit-for-bit under a fixed seed.  With no plan
+installed every gate is a single ``None`` check — golden figures are
+byte-identical.
 
 Install a plan via :func:`repro.opencl.dispatch.configure`::
 
@@ -81,7 +90,8 @@ from ..errors import (
 from ..trace import current_tracer
 
 #: Operations a fault plan may fail.
-OPS = ("build", "h2d", "d2h", "kernel", "api", "vec")
+OPS = ("build", "h2d", "d2h", "kernel", "api", "vec",
+       "native", "vm", "handoff")
 
 #: Fault kinds, in increasing severity.
 TRANSIENT = "transient"
@@ -325,6 +335,9 @@ _EXC_OF_OP = {
     "kernel": CLOutOfResources,
     "api": CLOutOfHostMemory,
     "vec": CLOutOfResources,
+    "native": CLOutOfHostMemory,
+    "vm": CLOutOfResources,
+    "handoff": CLOutOfHostMemory,
 }
 
 
@@ -375,3 +388,53 @@ def count_failover() -> None:
     tracer = current_tracer()
     if tracer.enabled:
         tracer.count("fault.failover")
+
+
+def host_gate(
+    op: str,
+    key: str,
+    attempt_ns: float,
+    charge,
+    *,
+    span_name: Optional[str] = None,
+    device=None,
+) -> None:
+    """Generic fault gate for host-side injection sites (VM/runtime).
+
+    The exact idiom of the substrate gates
+    (:meth:`repro.opencl.queue.CommandQueue._fault_gate`), factored out
+    so the VM/Ensemble path charges failed attempts and backoff
+    identically: each injected failure calls ``charge(ns, name, args)``
+    with the aborted attempt (*attempt_ns* under *span_name*, default
+    ``fault.<op>``), transient faults retry up to the active
+    :class:`RetryPolicy` bound with ``fault.backoff`` host time charged
+    per attempt, ``device-lost`` marks *device* lost (when given) and
+    raises :class:`~repro.errors.CLDeviceLost`, and unrecoverable
+    faults raise per :func:`exception_for`.  With no plan installed the
+    gate is a single ``None`` check.
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    policy = retry_policy()
+    name = span_name or f"fault.{op}"
+    attempt = 1
+    while True:
+        fault = plan.decide(op, key)
+        if fault is None:
+            return
+        count_injection(fault)
+        if attempt_ns > 0.0:
+            charge(attempt_ns, name, {"key": key, "kind": fault.kind})
+        if fault.kind == DEVICE_LOST:
+            if device is not None:
+                device.mark_lost()
+                raise exception_for(fault, f"device {device.name!r}")
+            raise exception_for(fault)
+        if fault.transient and attempt < policy.max_attempts:
+            if policy.backoff_ns > 0.0:
+                charge(policy.backoff_ns * attempt, "fault.backoff", None)
+            count_retry()
+            attempt += 1
+            continue
+        raise exception_for(fault)

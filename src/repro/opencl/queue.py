@@ -34,6 +34,7 @@ from typing import Iterable, Optional, Sequence
 
 from ..errors import (
     CLDeviceLost,
+    CLError,
     CLInvalidContext,
     CLInvalidValue,
     CLInvalidWorkGroupSize,
@@ -811,6 +812,14 @@ class CommandQueue:
             # it so buffer contents stay consistent for the failover
             # path (reads drain on lost devices), then surface the loss.
             self._flush_if_pending("device-lost")
+            raise
+        except CLError:
+            # A non-loss injected failure aborts only *this* dispatch.
+            # The pending producer was accepted (and fault-gated) at its
+            # own enqueue: flush it as an ordinary launch so its caller's
+            # Event is stamped and priced exactly once — a caller that
+            # handles the fault and stops enqueuing must not strand it.
+            self._flush_if_pending("fault")
             raise
         entries = kernel.bound_entries(self.context)
         reads, writes = kernel.buffer_access(entries)

@@ -18,7 +18,7 @@ import random
 import threading
 from typing import Any, Optional
 
-from ..errors import ChannelClosed, RuntimeFault, VMError
+from ..errors import ChannelClosed, CLDeviceLost, RuntimeFault, VMError
 from ..ensemble.bytecode import (
     Code,
     CompiledActor,
@@ -27,12 +27,13 @@ from ..ensemble.bytecode import (
 )
 from ..kir.interp import c_idiv, c_imod
 from ..opencl import CostLedger
+from ..opencl import faults
 from ..opencl.context import current_clock
 from ..opencl.program import Program
 from ..trace import current_tracer
 from ..actors.actor import Actor, Stage, StopBehaviour
 from ..actors.channel import InPort, OutPort, connect
-from .oclenv import get_environment
+from .oclenv import device_matrix, get_environment
 from .mov import Movable, is_movable, mov
 from .residency import ManagedArray
 from .values import StructValue, index_value, length_of, store_value
@@ -60,6 +61,31 @@ _MATH_NATIVES = {
 }
 
 
+def _close_reachable_ports(values: list) -> None:
+    """Close every channel end reachable from *values*.
+
+    Used when a VM actor exits abnormally: the ports wired into the
+    messages it was holding (struct fields, movable payloads, lists)
+    would otherwise keep blocked peers waiting forever.  Closing is
+    idempotent, so sweeping an already-finalized port is harmless.
+    """
+    seen: set[int] = set()
+    stack = list(values)
+    while stack:
+        value = stack.pop()
+        if value is None or id(value) in seen:
+            continue
+        seen.add(id(value))
+        if isinstance(value, (InPort, OutPort)):
+            value.close()
+        elif isinstance(value, StructValue):
+            stack.extend(value.fields.values())
+        elif is_movable(value):
+            stack.append(value.value)
+        elif isinstance(value, (list, tuple)):
+            stack.extend(value)
+
+
 class VMActor(Actor):
     """An actor whose behaviour interprets Ensemble bytecode."""
 
@@ -72,13 +98,19 @@ class VMActor(Actor):
         self.channels: dict[str, Any] = {}
         for cname, direction, _movable, buffer in compiled.channel_specs:
             if direction == "in":
-                self.channels[cname] = InPort(buffer=buffer,
-                                              name=f"{self.name}.{cname}",
-                                              owner=self)
+                port: Any = InPort(buffer=buffer,
+                                   name=f"{self.name}.{cname}",
+                                   owner=self)
             else:
-                self.channels[cname] = OutPort(name=f"{self.name}.{cname}",
-                                               owner=self)
+                port = OutPort(name=f"{self.name}.{cname}", owner=self)
+            # Run-stable fault coordinate: the port's display name embeds
+            # the global actor id, which is not stable across runs, so
+            # fault plans key hand-offs on `<ActorType>.<channel>`.
+            port.stable_key = f"{compiled.name}.{cname}"
+            self.channels[cname] = port
         self._program_cache: Optional[Program] = None
+        self._env_override = None
+        self._chan_seq = 0
         vm.execute(self.compiled.state_init, [], actor=self)
         ctor = self.compiled.constructor
         frame = [None] * max(ctor.nlocals, len(args))
@@ -90,7 +122,24 @@ class VMActor(Actor):
         code = self.compiled.behaviour
         if not code.instrs:
             raise StopBehaviour()
-        self.vm.execute(code, [None] * code.nlocals, actor=self)
+        frame = [None] * code.nlocals
+        try:
+            self.vm.execute(code, frame, actor=self)
+        except StopBehaviour:
+            raise
+        except BaseException:
+            # An abnormal exit (crash, or a mid-pipeline ChannelClosed)
+            # must not leave peers blocked on channels whose ends this
+            # actor received inside messages — the req structs of the
+            # paper's pipelines.  :meth:`_close_ports` only covers the
+            # presented interface, so close every port reachable from
+            # the live frame and actor state too; downstream receivers
+            # observe the closure and the shutdown cascades, exactly as
+            # KernelActor closes ``request.output`` on a failed
+            # dispatch.
+            _close_reachable_ports(frame)
+            _close_reachable_ports(list(self.state.values()))
+            raise
 
     def _close_ports(self) -> None:
         super()._close_ports()
@@ -124,6 +173,7 @@ class EnsembleVM:
         self.rng = random.Random(0xEA5EB1E)
         self._out_lock = threading.Lock()
         self._booted = False
+        self._boot_chan_seq = 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -163,6 +213,66 @@ class EnsembleVM:
 
     def _track(self, actor: Optional[VMActor]) -> str:
         return f"vm/{actor.name if actor is not None else self.stage.name}"
+
+    # -- fault injection (the VM-side gates) -------------------------------
+
+    def _charge_fault(
+        self,
+        ns: float,
+        name: str,
+        actor: Optional[VMActor],
+        args: Optional[dict],
+    ) -> None:
+        """Price one aborted attempt / backoff exactly like VM work:
+        simulated host time on the VM ledger, serial on the composed
+        timeline, a cost span on the actor's track."""
+        now = self.clock.advance(ns)
+        self.ledger.charge("host", ns)
+        self.clock.timeline.serial_advance("api", ns)
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.cost_span(
+                "host",
+                ns,
+                name=name,
+                track=self._track(actor),
+                ts_ns=now - ns,
+                args=args,
+            )
+
+    def _fault_gate(
+        self,
+        op: str,
+        key: str,
+        attempt_ns: float,
+        span_name: str,
+        actor: Optional[VMActor],
+        device=None,
+    ) -> None:
+        """Consult the fault plan before a VM-side operation, charging
+        attempts and backoff through :meth:`_charge_fault` with the
+        substrate's retry/raise semantics (:func:`faults.host_gate`)."""
+        faults.host_gate(
+            op,
+            key,
+            attempt_ns,
+            lambda ns, name, args: self._charge_fault(ns, name, actor, args),
+            span_name=span_name,
+            device=device,
+        )
+
+    @staticmethod
+    def _handoff_key(chan: OutPort) -> Optional[str]:
+        """The run-stable fault coordinate of a hand-off, or ``None``
+        when neither end of the channel is addressable."""
+        key = getattr(chan, "stable_key", None)
+        if key is not None:
+            return key
+        for target in getattr(chan, "_targets", ()):
+            tkey = getattr(target, "stable_key", None)
+            if tkey is not None:
+                return tkey
+        return None
 
     # -- the interpreter -----------------------------------------------------
 
@@ -252,10 +362,21 @@ class EnsembleVM:
                     stack.append(self._new_struct(name, values))
                 elif op == "NEWCHAN":
                     direction, _movable = arg
-                    if direction == "in":
-                        stack.append(InPort())
+                    port = InPort() if direction == "in" else OutPort()
+                    # Bytecode order is program-determined, so a per-actor
+                    # channel sequence number is a run-stable fault
+                    # coordinate for anonymous (behaviour-local) ports.
+                    if actor is not None:
+                        seq = actor._chan_seq
+                        actor._chan_seq = seq + 1
+                        port.stable_key = (
+                            f"{actor.compiled.name}.chan{seq}"
+                        )
                     else:
-                        stack.append(OutPort())
+                        seq = self._boot_chan_seq
+                        self._boot_chan_seq = seq + 1
+                        port.stable_key = f"{self.stage.name}.chan{seq}"
+                    stack.append(port)
                 elif op == "NEWACTOR":
                     name, argc = arg
                     values = [stack.pop() for _ in range(argc)]
@@ -266,6 +387,13 @@ class EnsembleVM:
                     value = stack.pop()
                     if not isinstance(chan, OutPort):
                         raise VMError("send on a non-out channel value")
+                    if faults.active_plan() is not None:
+                        key = self._handoff_key(chan)
+                        if key is not None:
+                            self._fault_gate(
+                                "handoff", key, BYTECODE_NS,
+                                "fault.ensemble.handoff", actor,
+                            )
                     chan.send(mov(value) if arg else value)
                 elif op == "RECEIVE":
                     chan = stack.pop()
@@ -286,7 +414,7 @@ class EnsembleVM:
                     name, argc = arg
                     values = [stack.pop() for _ in range(argc)]
                     values.reverse()
-                    stack.append(self._native(name, values))
+                    stack.append(self._native(name, values, actor))
                 elif op == "DISPATCH":
                     assert actor is not None
                     plan = actor.compiled.kernel_plan
@@ -363,7 +491,15 @@ class EnsembleVM:
             frame[slot] = value
         return self.execute(fn.code, frame, actor)
 
-    def _native(self, name: str, args: list) -> Any:
+    def _native(
+        self, name: str, args: list, actor: Optional[VMActor] = None
+    ) -> Any:
+        if faults.active_plan() is not None:
+            # `invokenative` host calls are a fault site: one aborted
+            # interpreter issue (BYTECODE_NS) per failed attempt.
+            self._fault_gate(
+                "native", name, BYTECODE_NS, "fault.vm.native", actor
+            )
         if name == "printString":
             return self._print(args[0])
         if name == "printInt":
@@ -485,9 +621,39 @@ class EnsembleVM:
                 kernel=plan.kernel_name,
                 device_type=plan.device_type,
             ):
-                self._dispatch_kernel_inner(actor, plan, frame)
+                self._dispatch_with_failover(actor, plan, frame)
         else:
+            self._dispatch_with_failover(actor, plan, frame)
+
+    def _dispatch_with_failover(
+        self, actor: VMActor, plan: KernelPlan, frame: list
+    ) -> None:
+        try:
             self._dispatch_kernel_inner(actor, plan, frame)
+        except CLDeviceLost:
+            # The VM-driven kernel actor's device dropped off the bus
+            # (injected on the `vm` site or any substrate gate inside
+            # the dispatch): re-target a survivor and re-issue, exactly
+            # as the runtime KernelActor does.  Managed arrays carry
+            # their own residency, so inputs re-upload from the host
+            # copy on the new context.
+            self._vm_failover(actor, plan)
+            self._dispatch_kernel_inner(actor, plan, frame)
+
+    def _vm_failover(self, actor: VMActor, plan: KernelPlan) -> None:
+        env = actor._env_override
+        if env is None:
+            env = get_environment(
+                plan.device_type, plan.device_index, plan.platform_index
+            )
+        actor._env_override = device_matrix().failover_environment(
+            env.device
+        )
+        actor._program_cache = None
+        faults.count_failover()
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.count("actor.failover")
 
     def _dispatch_kernel_inner(
         self, actor: VMActor, plan: KernelPlan, frame: list
@@ -496,9 +662,22 @@ class EnsembleVM:
         data = frame[plan.data_slot]
         if not isinstance(request, StructValue):
             raise VMError("kernel request is not a struct")
-        env = get_environment(
-            plan.device_type, plan.device_index, plan.platform_index
-        )
+        env = actor._env_override
+        if env is None:
+            env = get_environment(
+                plan.device_type, plan.device_index, plan.platform_index
+            )
+        if faults.active_plan() is not None:
+            # The VM dispatch wrapper itself is a fault site: one
+            # aborted wrapper call (api_call_ns) per failed attempt.
+            self._fault_gate(
+                "vm",
+                plan.kernel_name,
+                env.device.spec.api_call_ns,
+                "fault.vm.dispatch",
+                actor,
+                device=env.device,
+            )
         if actor._program_cache is None:
             # Each actor acquires once; actors sharing identical kernel
             # source get the context's program, paying the full compile

@@ -3,7 +3,9 @@
 
 Checks that every module under ``src/repro/opencl/``,
 ``src/repro/kir/`` and ``src/repro/actors/`` (plus
-``src/repro/kcache.py``) carries a module docstring, and that each
+``src/repro/kcache.py``, ``src/repro/runtime/vm.py`` and
+``src/repro/harness/chaos.py``) carries a module docstring, and that
+each
 top-level *public* class and function in those modules states a
 one-line contract.  CI runs this so the scheduling/dispatch/
 reliability layers the architecture and reliability documents describe
@@ -26,6 +28,8 @@ TARGETS = [
     os.path.join("src", "repro", "kir"),
     os.path.join("src", "repro", "actors"),
     os.path.join("src", "repro", "kcache.py"),
+    os.path.join("src", "repro", "runtime", "vm.py"),
+    os.path.join("src", "repro", "harness", "chaos.py"),
 ]
 
 #: Modules the directory sweep must pick up — a rename or move that
@@ -37,6 +41,8 @@ REQUIRED = [
     os.path.join("src", "repro", "opencl", "faults.py"),
     os.path.join("src", "repro", "kir", "fuse.py"),
     os.path.join("src", "repro", "kir", "npcodegen.py"),
+    os.path.join("src", "repro", "runtime", "vm.py"),
+    os.path.join("src", "repro", "harness", "chaos.py"),
 ]
 
 
